@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction binaries. Each bench prints
+// the series the corresponding paper figure shows, next to the values the
+// paper reports, and accepts:
+//   --full        run at paper scale (more traces per parameter point)
+//   --traces=N    explicit trace count per parameter point
+//   --seed=S      base RNG seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace bench {
+
+struct Args {
+  bool full = false;
+  std::size_t traces = 0;  // 0 = bench default
+  std::uint64_t seed = 1;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg.rfind("--traces=", 0) == 0) {
+      args.traces = static_cast<std::size_t>(std::atoll(arg.c_str() + 9));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("options: --full --traces=N --seed=S\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline std::size_t trace_count(const Args& args, std::size_t dflt,
+                               std::size_t full) {
+  if (args.traces > 0) return args.traces;
+  return args.full ? full : dflt;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("=== %s ===\n%s\n\n", figure, description);
+}
+
+/// Prints one boxplot row (the paper's Figs. 8/9/17 are boxplots).
+inline void print_box_row(const char* label,
+                          const ftio::util::BoxplotSummary& s,
+                          double scale = 1.0, const char* unit = "") {
+  std::printf("  %-14s mean %8.3f%s | min %8.3f | q1 %8.3f | med %8.3f | "
+              "q3 %8.3f | max %8.3f | outliers %zu/%zu\n",
+              label, s.mean * scale, unit, s.min * scale, s.q1 * scale,
+              s.median * scale, s.q3 * scale, s.max * scale, s.outliers, s.n);
+}
+
+}  // namespace bench

@@ -1,0 +1,77 @@
+// Fig. 2 (and the Sec. II-C practical example): FTIO on IOR with 9216
+// ranks — time behaviour and normed power spectrum. Paper reference:
+// dt = 781 s, fs = 10 Hz, 7817 samples, abstraction error 0.03, 3809
+// inspected frequencies, period 111.67 s, c_d = 60.5%; lowering the
+// tolerance to 0.45 pulls in the 2f harmonic, which is ignored, raising
+// c_d to 62.5%.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "core/ftio.hpp"
+#include "workloads/ior.hpp"
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 2 / Sec. II-C example: IOR spectrum (9216 ranks)",
+      "paper: period 111.67 s at 0.01 Hz, c_d 60.5% -> 62.5% at tolerance "
+      "0.45 (harmonic ignored)");
+
+  const auto trace =
+      ftio::workloads::generate_ior_trace(ftio::workloads::ior_fig2_preset());
+  std::printf("trace: %zu requests, %d ranks, window [%.2f, %.2f] s\n",
+              trace.requests.size(), trace.rank_count, trace.begin_time(),
+              trace.end_time());
+
+  ftio::core::FtioOptions opts;
+  opts.sampling_frequency = 10.0;
+  opts.keep_spectrum = true;
+  const auto r = ftio::core::detect(trace, opts);
+
+  std::printf("\nsamples: %zu (paper: 7817)\n", r.sample_count);
+  std::printf("abstraction error: %.4f (paper: 0.03)\n", r.abstraction_error);
+  std::printf("inspected frequencies: %zu (paper: 3809)\n",
+              r.spectrum->inspected_bins());
+  std::printf("mean contribution per bin: %.4f%% (paper: 0.025%%)\n",
+              100.0 * r.dft.mean_bin_contribution);
+  std::printf("verdict: %s\n", ftio::core::periodicity_name(r.dft.verdict));
+  if (r.periodic()) {
+    std::printf("dominant frequency: %.5f Hz -> period %.2f s "
+                "(paper: 0.00896 Hz -> 111.67 s)\n",
+                r.frequency(), r.period());
+    std::printf("confidence c_d: %.1f%% (paper: 60.5%%)\n",
+                100.0 * r.confidence());
+  }
+
+  // Top-5 spectral bins — the zoomed lower panel of Fig. 2.
+  std::printf("\ntop spectral bins (normed power):\n");
+  const auto& s = *r.spectrum;
+  std::vector<std::size_t> order(s.normed_power.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return s.normed_power[a] > s.normed_power[b];
+  });
+  int shown = 0;
+  for (std::size_t k : order) {
+    if (k == 0) continue;  // DC
+    std::printf("  f = %.5f Hz  power share %.2f%%\n", s.frequencies[k],
+                100.0 * s.normed_power[k]);
+    if (++shown == 5) break;
+  }
+
+  // Lowered tolerance variant: the 2f harmonic becomes a candidate and is
+  // discarded by the harmonic rule, increasing the confidence.
+  ftio::core::FtioOptions low_tol = opts;
+  low_tol.keep_spectrum = false;
+  low_tol.candidates.tolerance = 0.45;
+  const auto r2 = ftio::core::detect(trace, low_tol);
+  int suppressed = 0;
+  for (const auto& c : r2.dft.candidates) suppressed += c.harmonic_suppressed;
+  std::printf("\ntolerance 0.45: c_d = %.1f%% (paper: 62.5%%), "
+              "harmonic-suppressed candidates: %d\n",
+              100.0 * r2.confidence(), suppressed);
+  return 0;
+}

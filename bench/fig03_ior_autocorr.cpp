@@ -1,0 +1,50 @@
+// Fig. 3: autocorrelation on the IOR signal (9216 ranks). Paper
+// reference: 17 inter-peak periods, 5 candidates after the weighted
+// Z-score filter, ACF period 104.8 s, c_a = 99.58%, c_s = 97.6%,
+// refined confidence 86.5%.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ftio.hpp"
+#include "workloads/ior.hpp"
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 3: autocorrelation refinement on IOR (9216 ranks)",
+      "paper: 17 raw periods -> 5 candidates, ACF period 104.8 s, "
+      "c_a 99.58%, c_s 97.6%, refined 86.5%");
+
+  const auto trace =
+      ftio::workloads::generate_ior_trace(ftio::workloads::ior_fig2_preset());
+
+  ftio::core::FtioOptions opts;
+  opts.sampling_frequency = 10.0;
+  opts.with_autocorrelation = true;
+  const auto r = ftio::core::detect(trace, opts);
+
+  if (!r.periodic() || !r.acf) {
+    std::printf("unexpected: no dominant frequency found\n");
+    return 1;
+  }
+  const auto& acf = *r.acf;
+  std::printf("DFT period: %.2f s, c_d = %.1f%%\n", r.period(),
+              100.0 * r.confidence());
+  std::printf("ACF peaks detected: %zu\n", acf.peak_lags.size());
+  std::printf("raw inter-peak periods: %zu (paper: 17)\n",
+              acf.raw_periods.size());
+  std::printf("candidates after weighted Z-score filter: %zu (paper: 5)\n",
+              acf.candidate_periods.size());
+  std::printf("ACF period: %.2f s (paper: 104.8 s)\n", acf.period);
+  std::printf("c_a = %.2f%% (paper: 99.58%%)\n", 100.0 * acf.confidence);
+  std::printf("c_s = %.2f%% (paper: 97.6%%)\n",
+              100.0 * ftio::core::dft_acf_similarity(acf, r.period()));
+  std::printf("refined confidence = %.1f%% (paper: 86.5%%)\n",
+              100.0 * r.refined_confidence);
+
+  std::printf("\ncandidate periods (s):");
+  for (double p : acf.candidate_periods) std::printf(" %.1f", p);
+  std::printf("\n");
+  return 0;
+}

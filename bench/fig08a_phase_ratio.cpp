@@ -1,0 +1,52 @@
+// Fig. 8a: detection error as a function of the time between I/O phases
+// (relative to their length) and noise. Paper reference: "the disparity
+// in phase duration is not a problem ... all errors are below 1%", and
+// FTIO "is fairly robust to noise". Setup: delta_k = 0, sigma = 0,
+// t_cpu = ratio * t_io with the phase library's ~10.4 s phases.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "semisweep.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const std::size_t traces = bench::trace_count(args, 20, 100);
+  bench::print_header(
+      "Fig. 8a: error vs CPU/I-O phase-length ratio x noise",
+      "paper: all errors below 1%; robust to noise");
+  std::printf("traces per point: %zu (use --full for the paper's 100)\n\n",
+              traces);
+
+  ftio::workloads::PhaseLibraryConfig lib_config;
+  lib_config.phase_count = args.full ? 99 : 30;
+  const auto library = ftio::workloads::make_phase_library(lib_config);
+  const double t_io = 10.4;  // average phase duration
+
+  const double ratios[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  const ftio::workloads::NoiseLevel noises[] = {
+      ftio::workloads::NoiseLevel::kNone, ftio::workloads::NoiseLevel::kLow,
+      ftio::workloads::NoiseLevel::kHigh};
+  const char* noise_names[] = {"none", "low", "high"};
+
+  for (std::size_t n = 0; n < 3; ++n) {
+    std::printf("noise = %s\n", noise_names[n]);
+    for (double ratio : ratios) {
+      ftio::workloads::SemiSyntheticConfig c;
+      c.tcpu_mean = ratio * t_io;
+      c.tcpu_sigma = 0.0;
+      c.phi = 0.0;
+      c.noise = noises[n];
+      const auto res = bench::run_point(c, library, traces,
+                                        args.seed + static_cast<std::uint64_t>(
+                                            100 * ratio) + n * 17);
+      char label[32];
+      std::snprintf(label, sizeof label, "ratio %.2f", ratio);
+      bench::print_box_row(label, ftio::util::boxplot_summary(res.errors),
+                           100.0, "%");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 8c: detection error as a function of the variability of the time
+// between I/O phases: t_cpu ~ N(11, sigma^2), delta_k = 0, no noise.
+// Paper reference: median error < 33% in all cases and < 5.5% for
+// sigma/mu <= 0.5; 16% of traces below 60% confidence for
+// 0.5mu <= sigma < mu, 27% for sigma/mu >= 1; median confidence drops
+// from 96% (sigma/mu < 0.55) to 63% (sigma/mu >= 2).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "semisweep.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const std::size_t traces = bench::trace_count(args, 20, 100);
+  bench::print_header(
+      "Fig. 8c: error vs variability of the inter-phase time",
+      "paper: median < 33% always, < 5.5% for sigma/mu <= 0.5");
+  std::printf("traces per point: %zu (mu = 11 s)\n\n", traces);
+
+  ftio::workloads::PhaseLibraryConfig lib_config;
+  lib_config.phase_count = args.full ? 99 : 30;
+  const auto library = ftio::workloads::make_phase_library(lib_config);
+
+  const double sigma_over_mu[] = {0.0, 0.25, 0.5, 0.55, 1.0, 1.5, 2.0};
+  for (double ratio : sigma_over_mu) {
+    ftio::workloads::SemiSyntheticConfig c;
+    c.tcpu_mean = 11.0;
+    c.tcpu_sigma = ratio * c.tcpu_mean;
+    const auto res = bench::run_point(
+        c, library, traces, args.seed + static_cast<std::uint64_t>(ratio * 100));
+
+    char label[32];
+    std::snprintf(label, sizeof label, "s/m %.2f", ratio);
+    bench::print_box_row(label, ftio::util::boxplot_summary(res.errors),
+                         100.0, "%");
+
+    std::size_t low_confidence = 0;
+    for (double conf : res.confidences) low_confidence += conf < 0.6;
+    std::printf("                 median confidence %.0f%%, %.0f%% of traces "
+                "below 60%% confidence\n",
+                100.0 * ftio::util::median(res.confidences),
+                100.0 * static_cast<double>(low_confidence) /
+                    static_cast<double>(traces));
+  }
+  return 0;
+}

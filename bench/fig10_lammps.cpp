@@ -1,0 +1,57 @@
+// Fig. 10: FTIO on LAMMPS with 3072 ranks (2-d LJ flow, 300 steps,
+// dumping all atoms every 20 steps). Paper reference: single dominant
+// frequency at 0.039 Hz (25.73 s) with c_d = 55.0%; autocorrelation
+// refines the confidence to 84.9% (one peak at 25.6 s); the real mean
+// period was 27.38 s. Detection took 2.2 s (+0.26 s for the ACF).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ftio.hpp"
+#include "workloads/apps.hpp"
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 10: LAMMPS (3072 ranks), low-bandwidth periodic dumps",
+      "paper: f_d = 0.039 Hz (25.73 s), c_d 55.0%, refined 84.9%, real "
+      "mean 27.38 s");
+
+  ftio::workloads::LammpsConfig config;
+  const auto trace = ftio::workloads::generate_lammps_trace(config);
+  const double real_period =
+      config.step_seconds * static_cast<double>(config.dump_every);
+  std::printf("trace: %zu requests, %d ranks, %.0f s\n", trace.requests.size(),
+              trace.rank_count, trace.duration());
+
+  ftio::core::FtioOptions opts;
+  opts.sampling_frequency = 10.0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = ftio::core::detect(trace, opts);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("\nverdict: %s\n",
+              ftio::core::periodicity_name(r.dft.verdict));
+  if (r.periodic()) {
+    std::printf("dominant frequency: %.4f Hz -> period %.2f s "
+                "(paper: 0.039 Hz -> 25.73 s)\n",
+                r.frequency(), r.period());
+    std::printf("c_d: %.1f%% (paper: 55.0%%)\n", 100.0 * r.confidence());
+    std::printf("refined confidence: %.1f%% (paper: 84.9%%)\n",
+                100.0 * r.refined_confidence);
+  }
+  std::printf("generator ground truth: dumps every ~%.2f s "
+              "(paper real mean: 27.38 s)\n", real_period);
+  if (r.acf && r.acf->found()) {
+    std::printf("ACF period: %.2f s from %zu candidate(s) "
+                "(paper: single peak at 25.6 s)\n",
+                r.acf->period, r.acf->candidate_periods.size());
+  }
+  std::printf("analysis time: %.2f s (paper: 2.2 s on their hardware)\n",
+              elapsed);
+  return 0;
+}

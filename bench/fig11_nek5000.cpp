@@ -1,0 +1,51 @@
+// Fig. 11: FTIO on a Darshan heatmap of Nek5000 (2048 ranks, Mogon II).
+// Paper reference: with the full trace (dt = 86,000 s) the I/O phases are
+// not periodic (irregular ~30 GB phases at ~57,000 s and ~85,000 s);
+// reducing the window to dt = 56,000 s yields a period of 4642.1 s with
+// 85.4% confidence. FTIO derives fs from the heatmap bin width.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ftio.hpp"
+#include "trace/formats.hpp"
+#include "workloads/apps.hpp"
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 11: Nek5000 Darshan heatmap, full vs reduced window",
+      "paper: full dt=86000 s aperiodic; dt=56000 s -> 4642.1 s at 85.4%");
+
+  const auto heatmap = ftio::workloads::generate_nek5000_heatmap();
+  const auto csv = ftio::trace::to_heatmap_csv(heatmap);
+  // Round-trip through the CSV codec — the same path a pyDarshan export
+  // would take into FTIO.
+  const auto loaded = ftio::trace::from_heatmap_csv(csv);
+  std::printf("heatmap: %zu bins of %.0f s (fs = %.5f Hz, derived from the "
+              "bin width)\n",
+              loaded.bytes_per_bin.size(), loaded.bin_width,
+              loaded.implied_sampling_frequency());
+
+  const auto bandwidth = loaded.bandwidth();
+  ftio::core::FtioOptions opts;
+  opts.sampling_frequency = loaded.implied_sampling_frequency();
+  opts.sampling_mode = ftio::signal::SamplingMode::kBinAverage;
+
+  const auto full = ftio::core::analyze_bandwidth(bandwidth, opts);
+  std::printf("\nfull window (dt = %.0f s): %s (paper: not periodic)\n",
+              loaded.duration(),
+              ftio::core::periodicity_name(full.dft.verdict));
+  std::printf("  candidates: %zu\n", full.dft.candidates.size());
+
+  opts.window_end = 56'000.0;
+  const auto reduced = ftio::core::analyze_bandwidth(bandwidth, opts);
+  std::printf("\nreduced window (dt = 56,000 s): %s\n",
+              ftio::core::periodicity_name(reduced.dft.verdict));
+  if (reduced.periodic()) {
+    std::printf("  period: %.1f s (paper: 4642.1 s)\n", reduced.period());
+    std::printf("  confidence: %.1f%% (paper: 85.4%%)\n",
+                100.0 * reduced.confidence());
+  }
+  return 0;
+}

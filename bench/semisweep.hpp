@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared machinery for the Sec. III-A parameter sweeps (Figs. 8 and 9):
+// generate `traces` semi-synthetic applications per parameter point, run
+// FTIO on each, and collect detection errors plus the characterization
+// metrics. Points run in parallel across hardware threads.
+
+#include <optional>
+#include <vector>
+
+#include "core/ftio.hpp"
+#include "trace/model.hpp"
+#include "util/parallel.hpp"
+#include "workloads/semisynthetic.hpp"
+
+namespace bench {
+
+struct SweepResult {
+  std::vector<double> errors;        ///< |T_d - T-bar| / T-bar per trace
+  std::vector<double> confidences;   ///< refined confidence per trace
+  std::vector<double> sigma_vol;
+  std::vector<double> sigma_time;
+  std::vector<double> scores;        ///< periodicity score
+  std::size_t not_periodic = 0;      ///< traces with no dominant frequency
+};
+
+/// Runs one parameter point. Aperiodic detections contribute an error of
+/// 1.0 (a 100% miss), mirroring how missed detections dominate the
+/// paper's outlier tails.
+inline SweepResult run_point(const ftio::workloads::SemiSyntheticConfig& base,
+                             const std::vector<ftio::workloads::PhaseTrace>& library,
+                             std::size_t traces, std::uint64_t seed,
+                             bool with_metrics = false) {
+  SweepResult out;
+  out.errors.resize(traces, 0.0);
+  out.confidences.resize(traces, 0.0);
+  if (with_metrics) {
+    out.sigma_vol.resize(traces, 0.0);
+    out.sigma_time.resize(traces, 0.0);
+    out.scores.resize(traces, 0.0);
+  }
+  std::vector<int> misses(traces, 0);
+
+  ftio::util::parallel_for(traces, [&](std::size_t i) {
+    auto config = base;
+    config.seed = seed + i * 7919;
+    const auto app = ftio::workloads::generate_semisynthetic(config, library);
+
+    ftio::core::FtioOptions opts;
+    opts.sampling_frequency = 1.0;  // the paper's fs for these experiments
+    opts.with_metrics = with_metrics;
+    const auto r = ftio::core::detect(app.trace, opts);
+    if (r.periodic()) {
+      out.errors[i] = app.detection_error(r.period());
+      out.confidences[i] = r.refined_confidence;
+      if (with_metrics && r.metrics) {
+        out.sigma_vol[i] = r.metrics->sigma_vol;
+        out.sigma_time[i] = r.metrics->sigma_time;
+        out.scores[i] = r.metrics->periodicity_score();
+      }
+    } else {
+      out.errors[i] = 1.0;
+      misses[i] = 1;
+    }
+  });
+  for (int m : misses) out.not_periodic += m;
+  return out;
+}
+
+}  // namespace bench

@@ -1,0 +1,61 @@
+// Compatibility with other tools (Sec. III-B b): FTIO can consume a
+// Darshan-like heatmap instead of a TMIO trace. This example writes a
+// synthetic Nek5000 heatmap CSV, reads it back, and analyses it with two
+// time windows — reproducing the Fig. 11 lesson that shrinking dt turns
+// an apparently aperiodic profile into a clean 4642 s period.
+//
+//   ./examples/darshan_ingest [heatmap.csv]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/ftio.hpp"
+#include "trace/formats.hpp"
+#include "util/file.hpp"
+#include "workloads/apps.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path path =
+      argc > 1 ? argv[1]
+               : std::filesystem::temp_directory_path() / "nek5000_heatmap.csv";
+
+  // Fabricate the profile (a real deployment would export this from
+  // pyDarshan); then treat the CSV file as the only data source.
+  {
+    const auto heatmap = ftio::workloads::generate_nek5000_heatmap();
+    ftio::util::write_text_file(path, ftio::trace::to_heatmap_csv(heatmap));
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  const auto heatmap =
+      ftio::trace::from_heatmap_csv(ftio::util::read_text_file(path));
+  std::printf("heatmap: app=%s bins=%zu bin_width=%.0fs duration=%.0fs\n",
+              heatmap.app.c_str(), heatmap.bytes_per_bin.size(),
+              heatmap.bin_width, heatmap.duration());
+
+  // FTIO derives the sampling frequency from the bin width (Sec. III-B:
+  // "automatically set the sampling frequency to the bin widths").
+  ftio::core::FtioOptions options;
+  options.sampling_frequency = heatmap.implied_sampling_frequency();
+  options.sampling_mode = ftio::signal::SamplingMode::kBinAverage;
+  std::printf("derived fs = %.5f Hz\n\n", options.sampling_frequency);
+
+  const auto bandwidth = heatmap.bandwidth();
+
+  // Full window: the irregular 30 GB phases spoil the periodicity.
+  const auto full = ftio::core::analyze_bandwidth(bandwidth, options);
+  std::printf("full window (dt = %.0f s): %s\n", heatmap.duration(),
+              ftio::core::periodicity_name(full.dft.verdict));
+
+  // Reduced window dt = 56,000 s: the checkpoint cadence emerges.
+  options.window_end = 56'000.0;
+  const auto reduced = ftio::core::analyze_bandwidth(bandwidth, options);
+  std::printf("reduced window (dt = 56000 s): %s",
+              ftio::core::periodicity_name(reduced.dft.verdict));
+  if (reduced.periodic()) {
+    std::printf(", period %.1f s (confidence %.1f%%)",
+                reduced.period(), 100.0 * reduced.confidence());
+  }
+  std::printf("\n(paper: 4642.1 s with 85.4%% confidence)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// I/O scheduling use case (Sec. IV): the Set-10 heuristic fed by FTIO
+// periods on a small job mix, compared against plain fair sharing.
+//
+//   ./examples/io_scheduling
+//
+// Demonstrates: sched::simulate with the three period sources and the
+// stretch / I/O-slowdown / utilization metrics of Fig. 17.
+
+#include <cstdio>
+
+#include "sched/simulator.hpp"
+
+namespace {
+
+void report(const char* label, const ftio::sched::SimulationOutcome& out) {
+  std::printf("%-18s stretch %.3f   io-slowdown %.3f   utilization %.1f%%   "
+              "makespan %.0f s\n",
+              label, out.stretch_geomean, out.io_slowdown_geomean,
+              100.0 * out.utilization, out.makespan);
+}
+
+}  // namespace
+
+int main() {
+  const double fs_bandwidth = 10e9;
+  const auto jobs = ftio::sched::make_set10_workload(fs_bandwidth, /*seed=*/7);
+  std::printf("workload: %zu jobs (1 high-frequency, 15 low-frequency), "
+              "PFS at %.0f GB/s\n\n",
+              jobs.size(), fs_bandwidth / 1e9);
+
+  ftio::sched::SchedulerConfig config;
+  config.fs_bandwidth = fs_bandwidth;
+  config.per_job_bandwidth = fs_bandwidth;
+  config.ftio.sampling_frequency = 1.0;
+  config.ftio.with_metrics = false;
+  config.ftio.with_autocorrelation = false;
+
+  // Original: the unmodified file system (max-min fair sharing).
+  config.policy = ftio::sched::Policy::kFairShare;
+  config.period_source = ftio::sched::PeriodSource::kNone;
+  report("original", ftio::sched::simulate(jobs, config));
+
+  // Set-10 with perfect (clairvoyant) period knowledge.
+  config.policy = ftio::sched::Policy::kSet10;
+  config.period_source = ftio::sched::PeriodSource::kClairvoyant;
+  report("set-10 + clairv.", ftio::sched::simulate(jobs, config));
+
+  // Set-10 fed by online FTIO predictions.
+  config.period_source = ftio::sched::PeriodSource::kFtio;
+  report("set-10 + ftio", ftio::sched::simulate(jobs, config));
+
+  // Set-10 fed by FTIO predictions corrupted by +-50%.
+  config.period_source = ftio::sched::PeriodSource::kFtioWithError;
+  report("set-10 + error", ftio::sched::simulate(jobs, config));
+
+  std::printf("\nlower stretch/slowdown and higher utilization are better;\n"
+              "the paper's Fig. 17 shows FTIO within a few percent of the\n"
+              "clairvoyant scheduler and far ahead of the original system.\n");
+  return 0;
+}

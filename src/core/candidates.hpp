@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "outlier/outlier.hpp"
+#include "signal/spectrum.hpp"
+
+namespace ftio::core {
+
+/// How periodic the DFT step judged the signal (Sec. II-B2).
+enum class Periodicity {
+  /// Exactly one dominant-frequency candidate: high confidence.
+  kPeriodic,
+  /// Two candidates: "the signal has some variation in its behavior but is
+  /// still periodic"; the higher-power one is reported.
+  kPeriodicWithVariation,
+  /// Zero or more than two candidates: no dominant frequency.
+  kAperiodic,
+};
+
+const char* periodicity_name(Periodicity p);
+
+/// One spectral bin that passed (or almost passed) the candidate rule.
+struct CandidateFrequency {
+  std::size_t bin = 0;        ///< k in the single-sided spectrum
+  double frequency = 0.0;     ///< f_k in Hz
+  double power = 0.0;         ///< p_k
+  double normed_power = 0.0;  ///< p_k / total power
+  double zscore = 0.0;        ///< Eq. (2)
+  double confidence = 0.0;    ///< c_k (Sec. II-C), 0 if not computable
+  /// True when the candidate was discarded as a power-of-two harmonic of a
+  /// lower candidate ("the higher frequencies are ignored").
+  bool harmonic_suppressed = false;
+};
+
+/// Which higher frequencies count as harmonics of a lower candidate.
+/// The paper's exception names "multiples of two" (Fig. 2's 0.02 Hz bin);
+/// rectangular burst trains additionally carry strong 3f/5f lines, so the
+/// library defaults to suppressing all integer multiples. Power-of-two-only
+/// reproduces the paper's rule verbatim.
+enum class HarmonicRule { kIntegerMultiples, kPowerOfTwoOnly };
+
+/// Tuning knobs for the candidate extraction.
+struct CandidateOptions {
+  /// Z-score above which a bin is an outlier (Eq. (3): z_k >= 3).
+  double zscore_threshold = 3.0;
+  /// Fraction of z_max a candidate must reach (Eq. (3): 0.8, "a tolerance
+  /// value that can be adjusted").
+  double tolerance = 0.8;
+  /// Harmonic suppression rule (see HarmonicRule).
+  HarmonicRule harmonic_rule = HarmonicRule::kIntegerMultiples;
+  /// Frequency tolerance when matching the m-th harmonic, expressed in
+  /// bins and scaled by m (a fundamental known to +-1/2 bin drifts by
+  /// +-m/2 bins at its m-th multiple). 0.75 leaves headroom above that
+  /// worst case.
+  double harmonic_bin_tolerance = 0.75;
+  /// Largest multiple m considered a harmonic. Bounding m keeps random
+  /// candidate pairs in noisy spectra from pattern-matching as harmonics
+  /// (an unbounded rule would accept any ratio at large m).
+  int max_harmonic = 8;
+  /// Smallest number of signal cycles that must fit in the analysis
+  /// window for a bin to be a period candidate. Bin k corresponds to k
+  /// cycles; bin 1 is the window itself and can never evidence
+  /// periodicity, and slow envelope wander concentrates spurious power in
+  /// bins 1-2. Three repetitions is the least that can support a period
+  /// claim, and matches the k = 3 adaptive windows of Sec. II-D.
+  std::size_t min_cycles = 3;
+  /// Refine the dominant frequency below bin resolution by fitting a
+  /// parabola through the winning bin and its neighbours (classic
+  /// quadratic peak interpolation). Without it the reported period is
+  /// quantised to the bin grid, a relative error of up to 1/(2k).
+  bool refine_peak = true;
+  /// Detector used to pre-filter outliers. The Z-score is the paper's
+  /// default; the alternatives intersect their flags with the z/tolerance
+  /// rule so confidences remain defined.
+  ftio::outlier::Method method = ftio::outlier::Method::kZScore;
+};
+
+/// Result of the spectrum examination.
+struct DftAnalysis {
+  Periodicity verdict = Periodicity::kAperiodic;
+  /// The dominant frequency f_d, when the verdict is (variation-)periodic.
+  std::optional<double> dominant_frequency;
+  /// Confidence c_d of the dominant frequency (0 when aperiodic).
+  double confidence = 0.0;
+  /// Candidates D_f after harmonic suppression (suppressed ones included,
+  /// flagged), sorted by descending power.
+  std::vector<CandidateFrequency> candidates;
+  /// Largest Z-score over the non-DC bins.
+  double max_zscore = 0.0;
+  /// Mean contribution per inspected bin (1 / inspected bins) — the
+  /// "on average each frequency contributed x%" figure from Sec. II-C.
+  double mean_bin_contribution = 0.0;
+
+  /// Period 1/f_d in seconds (0 when aperiodic).
+  double period() const {
+    return dominant_frequency && *dominant_frequency > 0.0
+               ? 1.0 / *dominant_frequency
+               : 0.0;
+  }
+};
+
+/// Runs the Sec. II-B2 pipeline on a computed spectrum: Z-scores over the
+/// non-DC powers, the Eq. (3) candidate set, the x2-harmonic exception, the
+/// one/two/many-candidate decision rule, and the Sec. II-C confidence.
+DftAnalysis analyze_spectrum(const ftio::signal::Spectrum& spectrum,
+                             const CandidateOptions& options = {});
+
+}  // namespace ftio::core

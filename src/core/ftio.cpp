@@ -1,0 +1,140 @@
+#include "core/ftio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftio::core {
+
+FtioResult analyze_samples(std::span<const double> samples,
+                           const FtioOptions& options, double origin) {
+  ftio::util::expect(!samples.empty(), "analyze_samples: empty signal");
+  ftio::util::expect(options.sampling_frequency > 0.0,
+                     "analyze_samples: fs must be positive");
+
+  FtioResult result;
+  result.sampling_frequency = options.sampling_frequency;
+  result.window_start = origin;
+  result.window_end =
+      origin + static_cast<double>(samples.size()) / options.sampling_frequency;
+  result.sample_count = samples.size();
+
+  auto spectrum =
+      ftio::signal::compute_spectrum(samples, options.sampling_frequency);
+  result.dft = analyze_spectrum(spectrum, options.candidates);
+
+  if (options.with_autocorrelation) {
+    result.acf = analyze_autocorrelation(samples, options.sampling_frequency,
+                                         options.acf);
+    result.refined_confidence =
+        result.periodic()
+            ? merged_confidence(result.dft.confidence, *result.acf,
+                                result.period())
+            : result.dft.confidence;
+  } else {
+    result.refined_confidence = result.dft.confidence;
+  }
+
+  if (options.keep_spectrum) result.spectrum = std::move(spectrum);
+  return result;
+}
+
+FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
+                             const FtioOptions& options) {
+  ftio::util::expect(!bandwidth.empty(), "analyze_bandwidth: empty signal");
+
+  // Clip to the requested window by re-sampling only inside it.
+  double start = bandwidth.start_time();
+  double end = bandwidth.end_time();
+  if (options.window_start) start = std::max(start, *options.window_start);
+  if (options.window_end) end = std::min(end, *options.window_end);
+  if (options.skip_first_phase) {
+    start = std::max(start, first_phase_end(bandwidth));
+  }
+  ftio::util::expect(end > start, "analyze_bandwidth: empty analysis window");
+
+  // Build a window-restricted curve: shift-free, just sample over [start,end].
+  const double duration = end - start;
+  const auto n = static_cast<std::size_t>(
+      std::ceil(duration * options.sampling_frequency));
+  ftio::util::expect(n > 0, "analyze_bandwidth: window shorter than a sample");
+
+  std::vector<double> samples(n);
+  const double dt = 1.0 / options.sampling_frequency;
+  if (options.sampling_mode == ftio::signal::SamplingMode::kPointSample) {
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[i] = bandwidth.value_at(start + static_cast<double>(i) * dt);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = start + static_cast<double>(i) * dt;
+      const double b = std::min(a + dt, end);
+      samples[i] = b > a ? bandwidth.integral(a, b) / (b - a) : 0.0;
+    }
+  }
+
+  FtioResult result = analyze_samples(samples, options, start);
+
+  // Abstraction error over the analysed window (Sec. II-E / Fig. 6).
+  const double original = bandwidth.integral(start, end);
+  double discrete = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = start + static_cast<double>(i) * dt;
+    discrete += samples[i] * std::max(std::min(dt, end - a), 0.0);
+  }
+  result.abstraction_error =
+      original > 0.0 ? std::abs(discrete - original) / original : 0.0;
+
+  if (options.with_metrics && result.periodic()) {
+    result.metrics = compute_metrics(bandwidth, result.frequency());
+  }
+  return result;
+}
+
+FtioResult detect(const ftio::trace::Trace& trace, const FtioOptions& options) {
+  ftio::trace::BandwidthOptions bw;
+  bw.kind = options.kind;
+  // Window clipping happens in analyze_bandwidth so that the noise
+  // threshold and metrics see the same curve the spectrum saw.
+  const auto bandwidth = ftio::trace::bandwidth_signal(trace, bw);
+  ftio::util::expect(!bandwidth.empty(), "detect: trace has no I/O requests");
+  return analyze_bandwidth(bandwidth, options);
+}
+
+double suggest_sampling_frequency(const ftio::trace::Trace& trace,
+                                  double min_fs, double max_fs) {
+  ftio::util::expect(min_fs > 0.0 && max_fs >= min_fs,
+                     "suggest_sampling_frequency: bad clamp range");
+  double min_duration = 0.0;
+  for (const auto& r : trace.requests) {
+    const double d = r.duration();
+    if (d > 0.0 && (min_duration == 0.0 || d < min_duration)) {
+      min_duration = d;
+    }
+  }
+  if (min_duration == 0.0) return min_fs;
+  return std::clamp(2.0 / min_duration, min_fs, max_fs);
+}
+
+double frequency_resolution(double time_window) {
+  ftio::util::expect(time_window > 0.0,
+                     "frequency_resolution: non-positive window");
+  return 1.0 / time_window;
+}
+
+double first_phase_end(const ftio::signal::StepFunction& bandwidth) {
+  const auto times = bandwidth.times();
+  const auto values = bandwidth.values();
+  bool in_phase = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > 0.0) {
+      in_phase = true;
+    } else if (in_phase) {
+      return times[i];  // first gap after the first active run
+    }
+  }
+  return bandwidth.end_time();
+}
+
+}  // namespace ftio::core

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/acf_analysis.hpp"
+#include "core/candidates.hpp"
+#include "core/metrics.hpp"
+#include "signal/spectrum.hpp"
+#include "signal/step_function.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::core {
+
+/// Options of a complete FTIO evaluation (offline detection or one online
+/// prediction step). Field defaults follow the paper.
+struct FtioOptions {
+  /// Sampling frequency fs in Hz (Sec. II-E). The paper's experiments use
+  /// 10 Hz for IOR/LAMMPS/HACC-IO and 1 Hz for the synthetic studies.
+  double sampling_frequency = 10.0;
+  /// Restrict the analysis to [window_start, window_end] seconds; the
+  /// full trace when unset. Shrinking this window is how FTIO adapts to
+  /// changing behaviour (Sec. II-D / Fig. 11).
+  std::optional<double> window_start;
+  std::optional<double> window_end;
+  /// Analyse only this direction of I/O (both when unset).
+  std::optional<ftio::trace::IoKind> kind;
+  /// Drop everything before the end of the first I/O phase ("as the first
+  /// phase is often prolonged due to initialization overheads, FTIO
+  /// provides an option to skip it", Sec. III-B).
+  bool skip_first_phase = false;
+  /// Candidate extraction knobs (Z-score threshold, tolerance, method).
+  CandidateOptions candidates;
+  /// Run the autocorrelation refinement (Sec. II-C). Costs one extra FFT.
+  bool with_autocorrelation = true;
+  AcfOptions acf;
+  /// Compute sigma_vol / R_IO / sigma_time when a period was found.
+  bool with_metrics = true;
+  /// Keep the full spectrum in the result (needed to plot/synthesize the
+  /// Figs. 12-14 style output; costs O(N) memory).
+  bool keep_spectrum = false;
+  /// Discretisation mode (point sampling matches the paper's definition).
+  ftio::signal::SamplingMode sampling_mode =
+      ftio::signal::SamplingMode::kPointSample;
+};
+
+/// Complete result of one FTIO evaluation.
+struct FtioResult {
+  /// DFT stage (Sec. II-B): verdict, dominant frequency, candidates, c_d.
+  DftAnalysis dft;
+  /// Autocorrelation refinement (Sec. II-C), empty when disabled.
+  std::optional<AcfAnalysis> acf;
+  /// (c_d + c_a + c_s)/3 when the ACF found a period, else c_d.
+  double refined_confidence = 0.0;
+  /// Characterization metrics, present when a period was found and
+  /// with_metrics was set.
+  std::optional<PeriodicityMetrics> metrics;
+  /// Full spectrum when keep_spectrum was set.
+  std::optional<ftio::signal::Spectrum> spectrum;
+
+  // Analysis context.
+  double sampling_frequency = 0.0;  ///< fs used
+  double window_start = 0.0;        ///< analysed window [s]
+  double window_end = 0.0;
+  std::size_t sample_count = 0;     ///< N
+  double abstraction_error = 0.0;   ///< discrete-vs-original volume error
+
+  /// Convenience accessors.
+  bool periodic() const { return dft.dominant_frequency.has_value(); }
+  double frequency() const { return dft.dominant_frequency.value_or(0.0); }
+  double period() const { return dft.period(); }
+  double confidence() const { return dft.confidence; }
+};
+
+/// Analyses an already-discretised signal (samples at fs Hz).
+/// `origin` is the absolute time of samples[0] (used only for reporting).
+FtioResult analyze_samples(std::span<const double> samples,
+                           const FtioOptions& options, double origin = 0.0);
+
+/// Discretises a bandwidth curve at options.sampling_frequency (honouring
+/// the window options) and analyses it.
+FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
+                             const FtioOptions& options);
+
+/// The offline "detection" entry point (Sec. II): builds the application-
+/// level bandwidth from the request trace, then runs the full pipeline.
+FtioResult detect(const ftio::trace::Trace& trace, const FtioOptions& options);
+
+// ---------------------------------------------------------------------------
+// Parameter selection (Sec. II-E)
+// ---------------------------------------------------------------------------
+
+/// Suggests a sampling frequency from the smallest bandwidth-change
+/// granularity in the trace: fs = 2 / min request duration (Nyquist of the
+/// fastest change), clamped to [min_fs, max_fs]. "As our approach captures
+/// the time spent on each I/O request, we can find the smallest change in
+/// bandwidth over time and use it to calculate fs."
+double suggest_sampling_frequency(const ftio::trace::Trace& trace,
+                                  double min_fs = 0.01, double max_fs = 10000.0);
+
+/// Frequency-domain resolution for a time window: 1/dt (Sec. II-B1).
+double frequency_resolution(double time_window);
+
+/// End time of the first I/O phase of a bandwidth curve: the end of the
+/// first maximal run of non-zero bandwidth. Used by skip_first_phase.
+double first_phase_end(const ftio::signal::StepFunction& bandwidth);
+
+}  // namespace ftio::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "signal/step_function.hpp"
+
+namespace ftio::core {
+
+/// The "further characterization" metrics of Sec. II-C, computed from the
+/// bandwidth curve and the FTIO-provided dominant frequency.
+struct PeriodicityMetrics {
+  /// sigma_vol: standard deviation of V(T_i)/max V(T_j) across the
+  /// 1/f_d-long sub-traces. Lower = volumes per period more similar.
+  double sigma_vol = 0.0;
+  /// R_IO: fraction of time spent on substantial I/O (bandwidth above the
+  /// V(T)/L(T) threshold), in [0, 1].
+  double time_ratio_io = 0.0;
+  /// B_IO = V(S)/L(S): bandwidth characterising the substantial I/O.
+  double substantial_bandwidth = 0.0;
+  /// sigma_time (Eq. (4)): std of the per-period fraction of time spent on
+  /// substantial I/O around R_IO. Lower = more (time-)periodic.
+  double sigma_time = 0.0;
+  /// Noise threshold used: V(T)/L(T) (bytes per time-unit).
+  double noise_threshold = 0.0;
+  /// Average bytes transferred per period: V(S) / (L(T) * f_d).
+  double bytes_per_period = 0.0;
+  /// Number of whole periods the trace was split into.
+  std::size_t period_count = 0;
+
+  /// Periodicity score 1 - sigma_vol - sigma_time in [0, 1]
+  /// (both terms are bounded by 0.5).
+  double periodicity_score() const {
+    const double s = 1.0 - sigma_vol - sigma_time;
+    return s < 0.0 ? 0.0 : (s > 1.0 ? 1.0 : s);
+  }
+};
+
+/// Computes all Sec. II-C characterization metrics from the bandwidth
+/// curve `bandwidth` (bytes/s over time) and the dominant frequency
+/// `dominant_frequency` (Hz). Throws InvalidArgument for non-positive
+/// frequency or an empty curve.
+PeriodicityMetrics compute_metrics(const ftio::signal::StepFunction& bandwidth,
+                                   double dominant_frequency);
+
+/// Computes only the threshold-based part (R_IO, B_IO, threshold), which
+/// does not need a period — used by Fig. 4's illustration.
+PeriodicityMetrics compute_io_ratio(const ftio::signal::StepFunction& bandwidth);
+
+}  // namespace ftio::core

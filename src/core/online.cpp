@@ -1,0 +1,139 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "outlier/outlier.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::core {
+
+OnlinePredictor::OnlinePredictor(OnlineOptions options)
+    : options_(std::move(options)) {
+  ftio::util::expect(options_.adaptive_hits >= 1,
+                     "OnlinePredictor: adaptive_hits must be >= 1");
+  ftio::util::expect(options_.strategy != WindowStrategy::kFixedLength ||
+                         options_.fixed_window > 0.0,
+                     "OnlinePredictor: fixed_window must be positive");
+}
+
+void OnlinePredictor::ingest(std::span<const ftio::trace::IoRequest> requests) {
+  trace_.requests.insert(trace_.requests.end(), requests.begin(),
+                         requests.end());
+  for (const auto& r : requests) {
+    trace_.rank_count = std::max(trace_.rank_count, r.rank + 1);
+  }
+}
+
+void OnlinePredictor::ingest(const ftio::trace::Trace& chunk) {
+  if (trace_.app.empty()) trace_.app = chunk.app;
+  trace_.rank_count = std::max(trace_.rank_count, chunk.rank_count);
+  ingest(std::span<const ftio::trace::IoRequest>(chunk.requests));
+}
+
+Prediction OnlinePredictor::predict() {
+  ftio::util::expect(!trace_.empty(), "OnlinePredictor: no data ingested");
+  const double now = trace_.end_time();
+  const double begin = trace_.begin_time();
+
+  // Select the evaluation window. Adaptation uses the *previous* period:
+  // the paper notes the k-th detection's result only becomes available to
+  // the following prediction (Fig. 15a discussion).
+  double start = begin;
+  switch (options_.strategy) {
+    case WindowStrategy::kGrowing:
+      break;
+    case WindowStrategy::kAdaptive:
+      if (consecutive_hits_ >= options_.adaptive_hits && last_period_ > 0.0) {
+        const double periods = static_cast<double>(options_.adaptive_hits +
+                                                   options_.adaptive_margin);
+        double window = periods * last_period_;
+        if (options_.base.sampling_frequency > 0.0) {
+          window = std::max(window,
+                            static_cast<double>(options_.min_window_samples) /
+                                options_.base.sampling_frequency);
+        }
+        window_start_ = std::max(begin, now - window);
+      }
+      start = std::max(begin, window_start_);
+      break;
+    case WindowStrategy::kFixedLength:
+      start = std::max(begin, now - options_.fixed_window);
+      break;
+  }
+
+  FtioOptions opts = options_.base;
+  opts.window_start = start;
+  opts.window_end = now;
+  if (options_.auto_sampling_frequency) {
+    opts.sampling_frequency = suggest_sampling_frequency(
+        trace_, options_.min_auto_fs, options_.max_auto_fs);
+  }
+  const FtioResult result = detect(trace_, opts);
+
+  Prediction p;
+  p.at_time = now;
+  p.frequency = result.dft.dominant_frequency;
+  p.confidence = result.confidence();
+  p.refined_confidence = result.refined_confidence;
+  p.window_start = result.window_start;
+  p.window_end = result.window_end;
+  p.sample_count = result.sample_count;
+  history_.push_back(p);
+
+  if (p.found()) {
+    ++consecutive_hits_;
+    last_period_ = p.period();
+  } else {
+    consecutive_hits_ = 0;
+  }
+  return p;
+}
+
+std::vector<FrequencyInterval> OnlinePredictor::merged_intervals() const {
+  std::vector<FrequencyInterval> intervals;
+  std::vector<double> freqs;
+  double eps = 0.0;
+  for (const auto& p : history_) {
+    const double window = p.window_end - p.window_start;
+    if (window > 0.0) eps = std::max(eps, 1.0 / window);
+    if (p.found()) freqs.push_back(*p.frequency);
+  }
+  if (freqs.empty()) return intervals;
+  if (eps <= 0.0) eps = 1e-9;
+
+  const auto labels = ftio::outlier::dbscan_1d(freqs, eps, 1);
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+
+  const double total = static_cast<double>(history_.size());
+  for (int cluster = 0; cluster <= max_label; ++cluster) {
+    FrequencyInterval iv;
+    iv.low = 0.0;
+    iv.high = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      if (labels[i] != cluster) continue;
+      if (iv.count == 0) {
+        iv.low = iv.high = freqs[i];
+      } else {
+        iv.low = std::min(iv.low, freqs[i]);
+        iv.high = std::max(iv.high, freqs[i]);
+      }
+      sum += freqs[i];
+      ++iv.count;
+    }
+    if (iv.count == 0) continue;
+    iv.center = sum / static_cast<double>(iv.count);
+    iv.probability = static_cast<double>(iv.count) / total;
+    intervals.push_back(iv);
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const FrequencyInterval& a, const FrequencyInterval& b) {
+              return a.probability > b.probability;
+            });
+  return intervals;
+}
+
+}  // namespace ftio::core

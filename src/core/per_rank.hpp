@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/ftio.hpp"
+
+namespace ftio::core {
+
+/// Result of analysing one rank's own request stream.
+struct RankResult {
+  int rank = 0;
+  bool has_io = false;   ///< rank issued at least one request in the window
+  FtioResult result;     ///< valid only when has_io
+};
+
+/// Runs the FTIO pipeline on each rank's private bandwidth signal.
+///
+/// Sec. VI: "there are use cases (e.g., cache management) which require
+/// knowing the behavior of individual processes. Even in such cases, our
+/// approach is equally suitable." Ranks are analysed independently and in
+/// parallel across hardware threads.
+std::vector<RankResult> detect_per_rank(const ftio::trace::Trace& trace,
+                                        const FtioOptions& options);
+
+}  // namespace ftio::core

@@ -1,0 +1,69 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ftio::core {
+
+double IoProfile::bandwidth_at(double t) const {
+  double value = dc_offset;
+  for (const auto& w : waves) {
+    value += w.amplitude *
+             std::cos(2.0 * std::numbers::pi * w.frequency * t + w.phase);
+  }
+  return std::max(value, 0.0);
+}
+
+std::vector<double> IoProfile::sample(std::size_t n_samples) const {
+  ftio::util::expect(sampling_frequency > 0.0,
+                     "IoProfile::sample: profile without fs");
+  std::vector<double> out(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out[i] = bandwidth_at(static_cast<double>(i) / sampling_frequency);
+  }
+  return out;
+}
+
+IoProfile build_profile(const FtioResult& result, std::size_t wave_count) {
+  ftio::util::expect(result.spectrum.has_value(),
+                     "build_profile: result has no spectrum "
+                     "(set FtioOptions::keep_spectrum)");
+  const auto& s = *result.spectrum;
+  ftio::util::expect(!s.power.empty(), "build_profile: empty spectrum");
+
+  IoProfile profile;
+  profile.sampling_frequency = result.sampling_frequency;
+  const auto dc = ftio::signal::wave_for_bin(s, 0);
+  profile.dc_offset = dc.amplitude * std::cos(dc.phase);
+
+  // Strongest non-DC bins by power.
+  std::vector<std::size_t> order(s.power.size() > 1 ? s.power.size() - 1 : 0);
+  std::iota(order.begin(), order.end(), 1);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return s.power[a] > s.power[b];
+  });
+  const std::size_t count = std::min(wave_count, order.size());
+  profile.waves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    profile.waves.push_back(ftio::signal::wave_for_bin(s, order[i]));
+  }
+  return profile;
+}
+
+double profile_rms_error(const IoProfile& profile,
+                         std::span<const double> reference) {
+  ftio::util::expect(!reference.empty(), "profile_rms_error: empty reference");
+  const auto approx = profile.sample(reference.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = reference[i] - approx[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(reference.size()));
+}
+
+}  // namespace ftio::core

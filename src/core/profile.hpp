@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/ftio.hpp"
+#include "signal/spectrum.hpp"
+
+namespace ftio::core {
+
+/// A multi-wave temporal I/O profile.
+///
+/// Sec. III-B (Fig. 14 discussion): "a more detailed application profile
+/// could include several dominant frequency candidates and their
+/// contributions. We plan on exploring such profiles in the future."
+/// This type realises that profile: the DC offset plus the top
+/// contributing cosine waves, which can be evaluated at any time to
+/// approximate the expected bandwidth.
+struct IoProfile {
+  double dc_offset = 0.0;      ///< mean bandwidth level (X_0 / N)
+  double sampling_frequency = 0.0;
+  std::vector<ftio::signal::CosineWave> waves;  ///< strongest first
+
+  /// Expected bandwidth at time t (seconds from the analysis window
+  /// start), clamped at zero (a bandwidth cannot be negative).
+  double bandwidth_at(double t) const;
+
+  /// Samples the profile at the analysis sampling frequency.
+  std::vector<double> sample(std::size_t n_samples) const;
+};
+
+/// Builds the profile from an FTIO result that kept its spectrum
+/// (`FtioOptions::keep_spectrum`). `wave_count` selects how many of the
+/// strongest non-DC waves to include (1 reproduces the single-period
+/// view; 2 is the Fig. 14 merged-candidate view). Throws InvalidArgument
+/// when the result carries no spectrum.
+IoProfile build_profile(const FtioResult& result, std::size_t wave_count);
+
+/// Root-mean-square error between the profile and a reference sampled
+/// signal (used to quantify how much extra waves improve the fit).
+double profile_rms_error(const IoProfile& profile,
+                         std::span<const double> reference);
+
+}  // namespace ftio::core

@@ -1,0 +1,103 @@
+#include "mpisim/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "tmio/tracer.hpp"
+#include "util/error.hpp"
+
+namespace ftio::mpisim {
+
+int RankEnv::size() const { return cluster_->ranks(); }
+
+void RankEnv::compute(double seconds) {
+  ftio::util::expect(seconds >= 0.0, "RankEnv::compute: negative duration");
+  clock_ += seconds;
+}
+
+void RankEnv::transfer(ftio::trace::IoKind kind, std::uint64_t bytes,
+                       std::size_t requests, int concurrency) {
+  ftio::util::expect(requests >= 1, "RankEnv: requests must be >= 1");
+  const std::uint64_t per_request = bytes / requests;
+  std::uint64_t remainder = bytes % requests;
+  for (std::size_t i = 0; i < requests; ++i) {
+    std::uint64_t chunk = per_request + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    if (chunk == 0) continue;
+    const double start = clock_;
+    const double duration =
+        cluster_->fs_.transfer_seconds(kind, chunk, concurrency);
+    clock_ += duration;
+    if (cluster_->tracer_ != nullptr) {
+      cluster_->tracer_->record(rank_, kind, start, clock_, chunk);
+    }
+  }
+}
+
+void RankEnv::collective_write(std::uint64_t bytes, std::size_t requests) {
+  barrier();  // collective: all ranks start the phase together
+  transfer(ftio::trace::IoKind::kWrite, bytes, requests, cluster_->ranks());
+}
+
+void RankEnv::collective_read(std::uint64_t bytes, std::size_t requests) {
+  barrier();
+  transfer(ftio::trace::IoKind::kRead, bytes, requests, cluster_->ranks());
+}
+
+void RankEnv::independent_write(std::uint64_t bytes, std::size_t requests) {
+  transfer(ftio::trace::IoKind::kWrite, bytes, requests, 1);
+}
+
+void RankEnv::independent_read(std::uint64_t bytes, std::size_t requests) {
+  transfer(ftio::trace::IoKind::kRead, bytes, requests, 1);
+}
+
+void RankEnv::barrier() { cluster_->barrier_->arrive_and_wait(); }
+
+void RankEnv::flush() {
+  // Collective flush: synchronise, let rank 0 ship the data, resync so no
+  // rank records into the flushed range afterwards.
+  barrier();
+  if (rank_ == 0 && cluster_->tracer_ != nullptr) {
+    double latest = 0.0;
+    for (const auto& env : cluster_->envs_) {
+      latest = std::max(latest, env.clock_);
+    }
+    cluster_->tracer_->flush(latest);
+  }
+  barrier();
+}
+
+VirtualCluster::VirtualCluster(int ranks, FileSystemModel fs)
+    : ranks_(ranks), fs_(fs) {
+  ftio::util::expect(ranks >= 1, "VirtualCluster: ranks must be >= 1");
+  envs_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    envs_.push_back(RankEnv(*this, r));
+  }
+  // Barrier completion: synchronise virtual clocks to the maximum, the
+  // virtual-time analogue of everyone waiting for the slowest rank.
+  barrier_ = std::make_unique<SyncBarrier>(
+      ranks, std::function<void()>([this] {
+        double latest = 0.0;
+        for (const auto& env : envs_) latest = std::max(latest, env.clock_);
+        for (auto& env : envs_) env.clock_ = latest;
+      }));
+}
+
+void VirtualCluster::run(const std::function<void(RankEnv&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(envs_.size());
+  for (auto& env : envs_) {
+    threads.emplace_back([&program, &env] { program(env); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+double VirtualCluster::virtual_time() const {
+  double latest = 0.0;
+  for (const auto& env : envs_) latest = std::max(latest, env.clock_);
+  return latest;
+}
+
+}  // namespace ftio::mpisim

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpisim/filesystem.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::tmio {
+class Tracer;  // forward: ranks report their I/O to an attached tracer
+}
+
+namespace ftio::mpisim {
+
+class VirtualCluster;
+
+/// Per-rank execution environment handed to a rank program, mirroring the
+/// MPI calls TMIO intercepts (Sec. II-A). Time is *virtual*: compute and
+/// I/O advance a per-rank clock; barriers synchronise clocks to the
+/// maximum, exactly like an MPI_Barrier would in wall time.
+class RankEnv {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Current virtual time of this rank in seconds.
+  double now() const { return clock_; }
+
+  /// Advances the clock by a compute/communication phase.
+  void compute(double seconds);
+
+  /// Collective write (MPI_File_write_all-like): every rank transfers
+  /// `bytes` split into `requests` equal requests; the file-system model
+  /// is charged with full-cluster concurrency. Implies barrier semantics.
+  void collective_write(std::uint64_t bytes, std::size_t requests = 1);
+  void collective_read(std::uint64_t bytes, std::size_t requests = 1);
+
+  /// Independent write from this rank only (no synchronisation); charged
+  /// at the per-rank bandwidth cap.
+  void independent_write(std::uint64_t bytes, std::size_t requests = 1);
+  void independent_read(std::uint64_t bytes, std::size_t requests = 1);
+
+  /// MPI_Barrier: blocks until all ranks arrive; clocks jump to the max.
+  void barrier();
+
+  /// Online-mode flush marker (Sec. II-A: "a single line is added to
+  /// indicate when to flush the results"). Rank 0 triggers the tracer's
+  /// flush; a barrier keeps the semantics collective.
+  void flush();
+
+ private:
+  friend class VirtualCluster;
+  RankEnv(VirtualCluster& cluster, int rank)
+      : cluster_(&cluster), rank_(rank) {}
+
+  void transfer(ftio::trace::IoKind kind, std::uint64_t bytes,
+                std::size_t requests, int concurrency);
+
+  VirtualCluster* cluster_;
+  int rank_ = 0;
+  double clock_ = 0.0;
+};
+
+/// Thread-per-rank virtual cluster: runs the same program on every rank
+/// with real `std::barrier` synchronisation and virtual-time accounting.
+/// This is the substrate the TMIO tracer attaches to; the recorded
+/// requests carry virtual timestamps while tracer overhead is measured in
+/// wall time (Fig. 16).
+class VirtualCluster {
+ public:
+  /// Creates a cluster of `ranks` ranks (each a real thread during run()).
+  /// Keep rank counts moderate (<= a few hundred) — paper-scale runs are
+  /// generated analytically by the workload module instead.
+  VirtualCluster(int ranks, FileSystemModel fs);
+
+  /// Attaches a tracer; every simulated I/O request is recorded into it.
+  /// The tracer must outlive the run.
+  void attach_tracer(ftio::tmio::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Executes `program` once per rank (concurrently) and returns when all
+  /// ranks finished. May be called multiple times; clocks continue.
+  void run(const std::function<void(RankEnv&)>& program);
+
+  int ranks() const { return ranks_; }
+  const FileSystemModel& filesystem() const { return fs_; }
+
+  /// Largest rank clock after the last run (the virtual makespan).
+  double virtual_time() const;
+
+ private:
+  friend class RankEnv;
+
+  using SyncBarrier = std::barrier<std::function<void()>>;
+
+  int ranks_;
+  FileSystemModel fs_;
+  ftio::tmio::Tracer* tracer_ = nullptr;
+  std::vector<RankEnv> envs_;
+  std::unique_ptr<SyncBarrier> barrier_;
+};
+
+}  // namespace ftio::mpisim

@@ -1,0 +1,36 @@
+#include "mpisim/filesystem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ftio::mpisim {
+
+double FileSystemModel::rank_bandwidth(ftio::trace::IoKind kind,
+                                       int concurrency) const {
+  ftio::util::expect(concurrency >= 1,
+                     "FileSystemModel: concurrency must be >= 1");
+  const double peak = kind == ftio::trace::IoKind::kWrite
+                          ? peak_write_bandwidth
+                          : peak_read_bandwidth;
+  return std::min(per_rank_bandwidth,
+                  peak / static_cast<double>(concurrency));
+}
+
+double FileSystemModel::transfer_seconds(ftio::trace::IoKind kind,
+                                         std::uint64_t bytes,
+                                         int concurrency) const {
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / rank_bandwidth(kind, concurrency);
+}
+
+FileSystemModel FileSystemModel::lichtenberg() {
+  return FileSystemModel{106e9, 120e9, 1.5e9};
+}
+
+FileSystemModel FileSystemModel::plafrim() {
+  // 32 processes writing together reach roughly 10 GB/s in Sec. III-A.
+  return FileSystemModel{10e9, 12e9, 0.4e9};
+}
+
+}  // namespace ftio::mpisim

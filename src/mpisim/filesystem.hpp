@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/model.hpp"
+
+namespace ftio::mpisim {
+
+/// Analytic model of a shared parallel file system, standing in for the
+/// clusters the paper ran on (Lichtenberg's Spectrum Scale: 106 GB/s write
+/// and 120 GB/s read peak; PlaFRIM's ~10 GB/s aggregate for 32 ranks).
+///
+/// The model is deliberately simple — FTIO consumes only request timings —
+/// but captures the two effects the evaluation depends on: a per-rank
+/// injection cap and aggregate-bandwidth saturation under concurrency.
+struct FileSystemModel {
+  double peak_write_bandwidth = 106e9;  ///< bytes/s across all ranks
+  double peak_read_bandwidth = 120e9;   ///< bytes/s across all ranks
+  double per_rank_bandwidth = 1.5e9;    ///< single-rank injection cap, bytes/s
+
+  /// Effective bandwidth one rank sees when `concurrency` ranks access the
+  /// file system simultaneously: min(per-rank cap, fair share of the peak).
+  double rank_bandwidth(ftio::trace::IoKind kind, int concurrency) const;
+
+  /// Time for one rank to transfer `bytes` with `concurrency` active ranks.
+  double transfer_seconds(ftio::trace::IoKind kind, std::uint64_t bytes,
+                          int concurrency) const;
+
+  /// Lichtenberg-like configuration (Sec. III-B).
+  static FileSystemModel lichtenberg();
+  /// PlaFRIM-like configuration (Sec. III-A: 32 ranks reach ~10 GB/s).
+  static FileSystemModel plafrim();
+};
+
+}  // namespace ftio::mpisim

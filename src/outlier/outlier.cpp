@@ -1,0 +1,360 @@
+#include "outlier/outlier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::outlier {
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kZScore: return "z-score";
+    case Method::kDbscan: return "dbscan";
+    case Method::kIsolationForest: return "isolation-forest";
+    case Method::kLocalOutlierFactor: return "lof";
+  }
+  return "unknown";
+}
+
+std::vector<bool> zscore_outliers(std::span<const double> values,
+                                  double threshold) {
+  const auto scores = ftio::util::z_scores(values);
+  std::vector<bool> flags(values.size(), false);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    flags[i] = scores[i] > threshold;
+  }
+  return flags;
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN
+// ---------------------------------------------------------------------------
+
+std::vector<int> dbscan_1d(std::span<const double> values, double eps,
+                           std::size_t min_points) {
+  ftio::util::expect(eps >= 0.0, "dbscan_1d: negative eps");
+  const std::size_t n = values.size();
+  std::vector<int> labels(n, -1);
+  if (n == 0) return labels;
+
+  // Sort once; neighbourhoods of scalar data are contiguous ranges.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  auto neighbor_range = [&](std::size_t pos) {
+    // [lo, hi) positions in `order` within eps of order[pos].
+    const double v = values[order[pos]];
+    std::size_t lo = pos;
+    while (lo > 0 && v - values[order[lo - 1]] <= eps) --lo;
+    std::size_t hi = pos + 1;
+    while (hi < n && values[order[hi]] - v <= eps) ++hi;
+    return std::pair{lo, hi};
+  };
+
+  std::vector<bool> visited(n, false);
+  int cluster = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+    auto [lo, hi] = neighbor_range(p);
+    if (hi - lo < min_points) continue;  // noise unless later absorbed
+    const int id = cluster++;
+    labels[order[p]] = id;
+    std::deque<std::size_t> frontier;
+    for (std::size_t q = lo; q < hi; ++q) frontier.push_back(q);
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (labels[order[q]] == -1) labels[order[q]] = id;  // border point
+      if (visited[q]) continue;
+      visited[q] = true;
+      labels[order[q]] = id;
+      auto [qlo, qhi] = neighbor_range(q);
+      if (qhi - qlo >= min_points) {
+        for (std::size_t r = qlo; r < qhi; ++r) {
+          if (!visited[r] || labels[order[r]] == -1) frontier.push_back(r);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<int> dbscan_2d(std::span<const Point2> points, double eps,
+                           std::size_t min_points) {
+  ftio::util::expect(eps >= 0.0, "dbscan_2d: negative eps");
+  const std::size_t n = points.size();
+  std::vector<int> labels(n, -1);
+  const double eps2 = eps * eps;
+
+  auto neighbors_of = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = points[i].x - points[j].x;
+      const double dy = points[i].y - points[j].y;
+      if (dx * dx + dy * dy <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+
+  std::vector<bool> visited(n, false);
+  int cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    auto seeds = neighbors_of(i);
+    if (seeds.size() < min_points) continue;
+    const int id = cluster++;
+    labels[i] = id;
+    std::deque<std::size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (labels[q] == -1) labels[q] = id;
+      if (visited[q]) continue;
+      visited[q] = true;
+      labels[q] = id;
+      auto qn = neighbors_of(q);
+      if (qn.size() >= min_points) {
+        for (std::size_t r : qn) {
+          if (!visited[r] || labels[r] == -1) frontier.push_back(r);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<bool> dbscan_outliers(std::span<const double> values, double eps,
+                                  std::size_t min_points) {
+  const auto labels = dbscan_1d(values, eps, min_points);
+  const double m = ftio::util::mean(values);
+  std::vector<bool> flags(values.size(), false);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    flags[i] = labels[i] == -1 && values[i] > m;
+  }
+  return flags;
+}
+
+// ---------------------------------------------------------------------------
+// Isolation forest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Average unsuccessful-search path length in a BST of n nodes, the c(n)
+/// normaliser from the iForest paper.
+double average_path_length(std::size_t n) {
+  if (n <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + 0.5772156649015329;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+/// Recursively partitions `points` (a scratch vector) with random split
+/// values; accumulates the path length at which `query` would isolate.
+double isolation_path(std::vector<double>& points, double query,
+                      ftio::util::Rng& rng, std::size_t depth,
+                      std::size_t max_depth) {
+  if (points.size() <= 1 || depth >= max_depth) {
+    return static_cast<double>(depth) + average_path_length(points.size());
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(points.begin(), points.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (lo == hi) {
+    return static_cast<double>(depth) + average_path_length(points.size());
+  }
+  const double split = rng.uniform(lo, hi);
+  std::vector<double> side;
+  side.reserve(points.size());
+  if (query < split) {
+    for (double v : points) {
+      if (v < split) side.push_back(v);
+    }
+  } else {
+    for (double v : points) {
+      if (v >= split) side.push_back(v);
+    }
+  }
+  return isolation_path(side, query, rng, depth + 1, max_depth);
+}
+
+}  // namespace
+
+std::vector<double> isolation_forest_scores(
+    std::span<const double> values, const IsolationForestOptions& options) {
+  const std::size_t n = values.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  const std::size_t sample = std::min(options.subsample_size, n);
+  const auto max_depth =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max<std::size_t>(sample, 2))));
+  const double c = std::max(average_path_length(sample), 1e-12);
+
+  ftio::util::Rng rng(options.seed);
+  std::vector<double> mean_path(n, 0.0);
+  std::vector<double> subsample(sample);
+  for (std::size_t t = 0; t < options.tree_count; ++t) {
+    for (std::size_t i = 0; i < sample; ++i) {
+      subsample[i] = values[rng.pick_index(n)];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> scratch = subsample;
+      mean_path[i] += isolation_path(scratch, values[i], rng, 0, max_depth);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = mean_path[i] / static_cast<double>(options.tree_count);
+    scores[i] = std::pow(2.0, -e / c);
+  }
+  return scores;
+}
+
+std::vector<bool> isolation_forest_outliers(
+    std::span<const double> values, const IsolationForestOptions& options) {
+  const auto scores = isolation_forest_scores(values, options);
+  const double m = ftio::util::mean(values);
+  std::vector<bool> flags(values.size(), false);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Spectrum outliers of interest are anomalously *high* powers.
+    flags[i] = scores[i] > options.score_threshold && values[i] > m;
+  }
+  return flags;
+}
+
+// ---------------------------------------------------------------------------
+// Local outlier factor
+// ---------------------------------------------------------------------------
+
+std::vector<double> local_outlier_factors(std::span<const double> values,
+                                          const LofOptions& options) {
+  const std::size_t n = values.size();
+  std::vector<double> lof(n, 1.0);
+  if (n < 2) return lof;
+  const std::size_t k = std::min(options.neighbors, n - 1);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<std::size_t> rank(n);
+  for (std::size_t pos = 0; pos < n; ++pos) rank[order[pos]] = pos;
+
+  // k nearest neighbours of a scalar point lie in a contiguous sorted window.
+  auto knn_positions = [&](std::size_t pos) {
+    std::vector<std::size_t> nb;
+    nb.reserve(k);
+    std::size_t left = pos;
+    std::size_t right = pos + 1;
+    const double v = values[order[pos]];
+    while (nb.size() < k) {
+      const bool has_left = left > 0;
+      const bool has_right = right < n;
+      if (!has_left && !has_right) break;
+      const double dl = has_left ? v - values[order[left - 1]] : 0.0;
+      const double dr = has_right ? values[order[right]] - v : 0.0;
+      if (has_left && (!has_right || dl <= dr)) {
+        nb.push_back(left - 1);
+        --left;
+      } else {
+        nb.push_back(right);
+        ++right;
+      }
+    }
+    return nb;
+  };
+
+  std::vector<double> k_distance(n, 0.0);
+  std::vector<std::vector<std::size_t>> neighbors(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    neighbors[pos] = knn_positions(pos);
+    double dmax = 0.0;
+    for (std::size_t nb : neighbors[pos]) {
+      dmax = std::max(dmax, std::abs(values[order[pos]] - values[order[nb]]));
+    }
+    k_distance[pos] = dmax;
+  }
+
+  // Local reachability density.
+  std::vector<double> lrd(n, 0.0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    double reach_sum = 0.0;
+    for (std::size_t nb : neighbors[pos]) {
+      const double d = std::abs(values[order[pos]] - values[order[nb]]);
+      reach_sum += std::max(k_distance[nb], d);
+    }
+    lrd[pos] = reach_sum > 0.0
+                   ? static_cast<double>(neighbors[pos].size()) / reach_sum
+                   : std::numeric_limits<double>::infinity();
+  }
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (!std::isfinite(lrd[pos])) {
+      lof[order[pos]] = 1.0;
+      continue;
+    }
+    double ratio_sum = 0.0;
+    for (std::size_t nb : neighbors[pos]) {
+      ratio_sum += std::isfinite(lrd[nb])
+                       ? lrd[nb] / lrd[pos]
+                       : 1.0;  // neighbour in a dense tie: neutral ratio
+    }
+    lof[order[pos]] = neighbors[pos].empty()
+                          ? 1.0
+                          : ratio_sum / static_cast<double>(neighbors[pos].size());
+  }
+  return lof;
+}
+
+std::vector<bool> lof_outliers(std::span<const double> values,
+                               const LofOptions& options) {
+  const auto factors = local_outlier_factors(values, options);
+  const double m = ftio::util::mean(values);
+  std::vector<bool> flags(values.size(), false);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    flags[i] = factors[i] > options.factor_threshold && values[i] > m;
+  }
+  return flags;
+}
+
+// ---------------------------------------------------------------------------
+// Unified entry point
+// ---------------------------------------------------------------------------
+
+std::vector<bool> detect(std::span<const double> values, Method method,
+                         const DetectOptions& options) {
+  switch (method) {
+    case Method::kZScore:
+      return zscore_outliers(values, options.zscore_threshold);
+    case Method::kDbscan: {
+      double eps = options.dbscan_eps;
+      if (eps <= 0.0 && values.size() >= 2) {
+        std::vector<double> sorted(values.begin(), values.end());
+        std::sort(sorted.begin(), sorted.end());
+        std::vector<double> gaps;
+        gaps.reserve(sorted.size() - 1);
+        for (std::size_t i = 1; i < sorted.size(); ++i) {
+          gaps.push_back(sorted[i] - sorted[i - 1]);
+        }
+        eps = 3.0 * std::max(ftio::util::median(gaps), 1e-12);
+      }
+      return dbscan_outliers(values, eps, options.dbscan_min_points);
+    }
+    case Method::kIsolationForest:
+      return isolation_forest_outliers(values, options.forest);
+    case Method::kLocalOutlierFactor:
+      return lof_outliers(values, options.lof);
+  }
+  return std::vector<bool>(values.size(), false);
+}
+
+}  // namespace ftio::outlier

@@ -1,0 +1,53 @@
+#include "signal/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "signal/fft.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::signal {
+
+namespace {
+
+std::vector<double> acf_impl(std::span<const double> samples, bool center) {
+  ftio::util::expect(!samples.empty(), "autocorrelation: empty signal");
+  const std::size_t n = samples.size();
+
+  // Zero-pad to >= 2N to turn circular correlation into linear correlation.
+  const std::size_t m = next_power_of_two(2 * n);
+  std::vector<Complex> padded(m, Complex(0.0, 0.0));
+  const double mean = center ? ftio::util::mean(samples) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    padded[i] = Complex(samples[i] - mean, 0.0);
+  }
+
+  auto spectrum = fft(padded);
+  for (auto& v : spectrum) v *= std::conj(v);
+  const auto correlated = ifft(spectrum);
+
+  std::vector<double> acf(n);
+  const double lag0 = correlated[0].real();
+  if (lag0 == 0.0) {
+    // All-zero (or mean-constant) signal: define ACF as 1 at lag 0.
+    acf.assign(n, 0.0);
+    acf[0] = 1.0;
+    return acf;
+  }
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    acf[lag] = correlated[lag].real() / lag0;
+  }
+  return acf;
+}
+
+}  // namespace
+
+std::vector<double> autocorrelation(std::span<const double> samples) {
+  return acf_impl(samples, /*center=*/false);
+}
+
+std::vector<double> autocorrelation_centered(std::span<const double> samples) {
+  return acf_impl(samples, /*center=*/true);
+}
+
+}  // namespace ftio::signal

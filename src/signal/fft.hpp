@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ftio::signal {
+
+using Complex = std::complex<double>;
+
+/// Discrete Fourier transform X_k = sum_n x_n * exp(-2*pi*i*k*n/N), the
+/// definition in Sec. II-B1 of the paper. Dispatches to an iterative
+/// radix-2 Cooley-Tukey FFT when N is a power of two and to Bluestein's
+/// chirp-z algorithm otherwise, so every N costs O(N log N).
+std::vector<Complex> fft(std::span<const Complex> input);
+
+/// Inverse transform: x_n = (1/N) sum_k X_k * exp(+2*pi*i*k*n/N).
+std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// FFT of a real-valued signal (the I/O bandwidth samples). Returns the
+/// full N-bin complex spectrum; callers typically inspect only bins
+/// [0, N/2] because real input makes the spectrum conjugate-symmetric.
+std::vector<Complex> rfft(std::span<const double> input);
+
+/// Reference O(N^2) DFT used for validating the FFT in tests.
+std::vector<Complex> dft_direct(std::span<const Complex> input);
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace ftio::signal

@@ -1,0 +1,74 @@
+#include "signal/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ftio::signal {
+
+double Spectrum::frequency_step() const {
+  if (total_samples == 0) return 0.0;
+  return sampling_frequency / static_cast<double>(total_samples);
+}
+
+Spectrum compute_spectrum(std::span<const double> samples, double fs) {
+  ftio::util::expect(!samples.empty(), "compute_spectrum: empty signal");
+  ftio::util::expect(fs > 0.0, "compute_spectrum: fs must be positive");
+
+  const auto bins = rfft(samples);
+  const std::size_t n = samples.size();
+  const std::size_t half = n / 2;  // single-sided: k in [0, N/2]
+
+  Spectrum s;
+  s.sampling_frequency = fs;
+  s.total_samples = n;
+  s.frequencies.resize(half + 1);
+  s.amplitudes.resize(half + 1);
+  s.phases.resize(half + 1);
+  s.power.resize(half + 1);
+  s.normed_power.resize(half + 1);
+
+  double total_power = 0.0;
+  for (std::size_t k = 0; k <= half; ++k) {
+    s.frequencies[k] =
+        static_cast<double>(k) * fs / static_cast<double>(n);
+    s.amplitudes[k] = std::abs(bins[k]);
+    s.phases[k] = std::arg(bins[k]);
+    s.power[k] = s.amplitudes[k] * s.amplitudes[k] / static_cast<double>(n);
+    total_power += s.power[k];
+  }
+  for (std::size_t k = 0; k <= half; ++k) {
+    s.normed_power[k] = total_power > 0.0 ? s.power[k] / total_power : 0.0;
+  }
+  return s;
+}
+
+CosineWave wave_for_bin(const Spectrum& spectrum, std::size_t k) {
+  ftio::util::expect(k < spectrum.frequencies.size(),
+                     "wave_for_bin: bin out of range");
+  const double n = static_cast<double>(spectrum.total_samples);
+  CosineWave w;
+  w.frequency = spectrum.frequencies[k];
+  // Eq. (1): DC contributes X_0/N; other bins contribute 2|X_k|/N.
+  w.amplitude = (k == 0 ? 1.0 : 2.0) * spectrum.amplitudes[k] / n;
+  w.phase = spectrum.phases[k];
+  return w;
+}
+
+std::vector<double> synthesize(std::span<const CosineWave> waves,
+                               double dc_offset, double fs,
+                               std::size_t n_samples) {
+  ftio::util::expect(fs > 0.0, "synthesize: fs must be positive");
+  std::vector<double> out(n_samples, dc_offset);
+  for (const auto& w : waves) {
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const double t = static_cast<double>(i) / fs;
+      out[i] += w.amplitude *
+                std::cos(2.0 * std::numbers::pi * w.frequency * t + w.phase);
+    }
+  }
+  return out;
+}
+
+}  // namespace ftio::signal

@@ -1,0 +1,106 @@
+#include "signal/step_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ftio::signal {
+
+StepFunction::StepFunction(std::vector<double> times,
+                           std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  ftio::util::expect(times_.size() == values_.size() + 1,
+                     "StepFunction: times must have values.size()+1 entries");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    ftio::util::expect(times_[i] > times_[i - 1],
+                       "StepFunction: times must be strictly increasing");
+  }
+}
+
+std::size_t StepFunction::segment_index(double t) const {
+  if (values_.empty() || t < times_.front() || t >= times_.back()) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  // upper_bound returns the first boundary > t; the segment is one before.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+double StepFunction::value_at(double t) const {
+  const std::size_t idx = segment_index(t);
+  if (idx == std::numeric_limits<std::size_t>::max()) return 0.0;
+  return values_[idx];
+}
+
+double StepFunction::integral(double a, double b) const {
+  if (values_.empty() || b <= a) return 0.0;
+  const double lo = std::max(a, times_.front());
+  const double hi = std::min(b, times_.back());
+  if (hi <= lo) return 0.0;
+  double acc = 0.0;
+  const auto first = std::upper_bound(times_.begin(), times_.end(), lo);
+  std::size_t i = static_cast<std::size_t>(first - times_.begin()) - 1;
+  for (; i < values_.size() && times_[i] < hi; ++i) {
+    const double seg_lo = std::max(lo, times_[i]);
+    const double seg_hi = std::min(hi, times_[i + 1]);
+    if (seg_hi > seg_lo) acc += values_[i] * (seg_hi - seg_lo);
+  }
+  return acc;
+}
+
+double StepFunction::total_integral() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    acc += values_[i] * (times_[i + 1] - times_[i]);
+  }
+  return acc;
+}
+
+double StepFunction::max_value() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+DiscretizedSignal discretize(const StepFunction& f, double fs,
+                             SamplingMode mode) {
+  ftio::util::expect(fs > 0.0, "discretize: fs must be positive");
+  ftio::util::expect(!f.empty(), "discretize: empty signal");
+
+  const double duration = f.duration();
+  const auto n = static_cast<std::size_t>(std::ceil(duration * fs));
+  ftio::util::expect(n > 0, "discretize: signal shorter than one sample");
+
+  DiscretizedSignal d;
+  d.sampling_frequency = fs;
+  d.start_time = f.start_time();
+  d.samples.resize(n);
+
+  const double dt = 1.0 / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = d.start_time + static_cast<double>(i) * dt;
+    if (mode == SamplingMode::kPointSample) {
+      d.samples[i] = f.value_at(t);
+    } else {
+      const double hi = std::min(t + dt, f.end_time());
+      const double width = hi - t;
+      d.samples[i] = width > 0.0 ? f.integral(t, hi) / width : 0.0;
+    }
+  }
+
+  const double original_volume = f.total_integral();
+  double discrete_volume = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = d.start_time + static_cast<double>(i) * dt;
+    const double width = std::min(dt, f.end_time() - t);
+    discrete_volume += d.samples[i] * std::max(width, 0.0);
+  }
+  d.abstraction_error =
+      original_volume > 0.0
+          ? std::abs(discrete_volume - original_volume) / original_volume
+          : 0.0;
+  return d;
+}
+
+}  // namespace ftio::signal

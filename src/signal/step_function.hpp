@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftio::signal {
+
+/// Piecewise-constant function of time: value `values[i]` holds on
+/// [times[i], times[i+1]). This is the natural shape of the application-
+/// level bandwidth curve produced by overlapping I/O requests (Sec. II-A);
+/// `times` has exactly one more entry than `values` and is strictly
+/// increasing.
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Builds a step function; validates monotonicity and sizes.
+  StepFunction(std::vector<double> times, std::vector<double> values);
+
+  /// Value at time t; 0 outside [start_time, end_time).
+  double value_at(double t) const;
+
+  /// Integral over [a, b] (exact, since the function is piecewise constant).
+  double integral(double a, double b) const;
+
+  /// Integral over the whole support.
+  double total_integral() const;
+
+  double start_time() const { return times_.empty() ? 0.0 : times_.front(); }
+  double end_time() const { return times_.empty() ? 0.0 : times_.back(); }
+  double duration() const { return end_time() - start_time(); }
+  bool empty() const { return values_.empty(); }
+  std::size_t segment_count() const { return values_.size(); }
+
+  std::span<const double> times() const { return times_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Largest value over the support (0 for an empty function).
+  double max_value() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+
+  /// Index of the segment containing t, or SIZE_MAX when outside.
+  std::size_t segment_index(double t) const;
+};
+
+/// Result of discretising a continuous signal (Sec. II-B1 / II-E).
+struct DiscretizedSignal {
+  std::vector<double> samples;      ///< x_n = x(t0 + n/fs)
+  double sampling_frequency = 0.0;  ///< fs
+  double start_time = 0.0;          ///< t0
+  /// Abstraction error: |volume(discrete) - volume(original)| /
+  /// volume(original), the "volume difference between the two shown
+  /// signals" used to reject under-sampled signals in Fig. 6.
+  double abstraction_error = 0.0;
+};
+
+/// Sampling strategy: point sampling matches the paper's definition
+/// x_n = x(n/fs); bin averaging integrates each 1/fs bin (used for
+/// heatmap-style inputs whose bins already average).
+enum class SamplingMode { kPointSample, kBinAverage };
+
+/// Discretises `f` over its support at `fs` Hz. The number of samples is
+/// N = ceil(duration * fs); a trailing partial bin is sampled at its start.
+DiscretizedSignal discretize(const StepFunction& f, double fs,
+                             SamplingMode mode = SamplingMode::kPointSample);
+
+}  // namespace ftio::signal

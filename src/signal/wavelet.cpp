@@ -1,0 +1,142 @@
+#include "signal/wavelet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "signal/fft.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::signal {
+
+std::size_t CwtResult::dominant_row() const {
+  std::size_t best = 0;
+  double best_energy = -1.0;
+  for (std::size_t f = 0; f < power.size(); ++f) {
+    double energy = 0.0;
+    for (double p : power[f]) energy += p;
+    if (energy > best_energy) {
+      best_energy = energy;
+      best = f;
+    }
+  }
+  return best;
+}
+
+std::vector<double> CwtResult::dominant_frequency_over_time() const {
+  std::vector<double> out(time_steps(), 0.0);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    std::size_t best = 0;
+    for (std::size_t f = 1; f < power.size(); ++f) {
+      if (power[f][n] > power[best][n]) best = f;
+    }
+    out[n] = frequencies.empty() ? 0.0 : frequencies[best];
+  }
+  return out;
+}
+
+CwtResult morlet_cwt(std::span<const double> samples, double fs,
+                     std::span<const double> frequencies, double omega0) {
+  ftio::util::expect(!samples.empty(), "morlet_cwt: empty signal");
+  ftio::util::expect(fs > 0.0, "morlet_cwt: fs must be positive");
+  ftio::util::expect(!frequencies.empty(), "morlet_cwt: no frequencies");
+  ftio::util::expect(omega0 > 0.0, "morlet_cwt: omega0 must be positive");
+
+  const std::size_t n = samples.size();
+  const std::size_t padded = next_power_of_two(2 * n);
+
+  // Mean-removed, zero-padded signal spectrum (computed once).
+  const double mean = ftio::util::mean(samples);
+  std::vector<Complex> x(padded, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) x[i] = Complex(samples[i] - mean, 0.0);
+  const auto x_hat = fft(x);
+
+  CwtResult result;
+  result.sampling_frequency = fs;
+  result.frequencies.assign(frequencies.begin(), frequencies.end());
+  result.power.resize(frequencies.size());
+
+  // Angular frequency grid of the padded FFT.
+  std::vector<double> omega(padded);
+  for (std::size_t k = 0; k < padded; ++k) {
+    const double f = (k <= padded / 2)
+                         ? static_cast<double>(k)
+                         : static_cast<double>(k) - static_cast<double>(padded);
+    omega[k] = 2.0 * std::numbers::pi * f * fs / static_cast<double>(padded);
+  }
+
+  for (std::size_t fi = 0; fi < frequencies.size(); ++fi) {
+    ftio::util::expect(frequencies[fi] > 0.0,
+                       "morlet_cwt: frequencies must be positive");
+    // Morlet: psi_hat(s*w) = pi^{-1/4} exp(-(s*w - omega0)^2 / 2), analytic
+    // (zero for negative frequencies). Scale from pseudo-frequency:
+    // f = omega0 / (2*pi*s)  =>  s = omega0 / (2*pi*f).
+    const double scale =
+        omega0 / (2.0 * std::numbers::pi * frequencies[fi]);
+    const double norm = std::pow(std::numbers::pi, -0.25) *
+                        std::sqrt(2.0 * std::numbers::pi * scale * fs /
+                                  static_cast<double>(padded) *
+                                  static_cast<double>(padded));
+
+    std::vector<Complex> product(padded);
+    for (std::size_t k = 0; k < padded; ++k) {
+      if (omega[k] <= 0.0) {
+        product[k] = Complex(0.0, 0.0);
+        continue;
+      }
+      const double arg = scale * omega[k] - omega0;
+      const double window = norm * std::exp(-0.5 * arg * arg);
+      product[k] = x_hat[k] * window;
+    }
+    const auto coefficients = ifft(product);
+    auto& row = result.power[fi];
+    row.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = std::norm(coefficients[i]);
+    }
+  }
+  return result;
+}
+
+std::vector<double> log_spaced_frequencies(double lo, double hi,
+                                           std::size_t count) {
+  ftio::util::expect(lo > 0.0 && hi > lo, "log_spaced_frequencies: bad range");
+  ftio::util::expect(count >= 2, "log_spaced_frequencies: need >= 2 points");
+  std::vector<double> out(count);
+  const double step = std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo * std::exp(step * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::size_t strongest_change_point(const CwtResult& cwt, std::size_t window) {
+  const std::size_t n = cwt.time_steps();
+  if (n < 2 * window + 1 || window == 0 || cwt.power.empty()) return 0;
+  const auto dominant = cwt.dominant_frequency_over_time();
+
+  // Compare median dominant frequency left vs right of each centre.
+  auto median_of = [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> values(dominant.begin() + static_cast<std::ptrdiff_t>(lo),
+                               dominant.begin() + static_cast<std::ptrdiff_t>(hi));
+    return ftio::util::median(values);
+  };
+
+  std::size_t best = 0;
+  double best_shift = 0.0;
+  for (std::size_t c = window; c + window < n; ++c) {
+    const double left = median_of(c - window, c);
+    const double right = median_of(c, c + window);
+    if (left <= 0.0 || right <= 0.0) continue;
+    const double shift = std::abs(std::log(right / left));
+    if (shift > best_shift) {
+      best_shift = shift;
+      best = c;
+    }
+  }
+  // Only report a genuine shift (> ~15% frequency ratio).
+  return best_shift > 0.14 ? best : 0;
+}
+
+}  // namespace ftio::signal

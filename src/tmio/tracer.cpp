@@ -1,0 +1,190 @@
+#include "tmio/tracer.hpp"
+
+#include <chrono>
+
+#include "trace/formats.hpp"
+#include "util/error.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+#include "util/msgpack.hpp"
+
+namespace ftio::tmio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+ftio::util::Json meta_record(const TracerOptions& options, int ranks) {
+  auto obj = ftio::util::Json::object();
+  obj.set("type", "meta");
+  obj.set("app", options.app_name);
+  obj.set("ranks", static_cast<std::int64_t>(ranks));
+  return obj;
+}
+
+ftio::util::Json io_record(const ftio::trace::IoRequest& r) {
+  auto obj = ftio::util::Json::object();
+  obj.set("type", "io");
+  obj.set("kind", ftio::trace::io_kind_name(r.kind));
+  obj.set("rank", static_cast<std::int64_t>(r.rank));
+  obj.set("start", r.start);
+  obj.set("end", r.end);
+  obj.set("bytes", static_cast<std::int64_t>(r.bytes));
+  return obj;
+}
+
+ftio::util::Json flush_record(double now) {
+  auto obj = ftio::util::Json::object();
+  obj.set("type", "flush");
+  obj.set("time", now);
+  return obj;
+}
+
+}  // namespace
+
+Tracer::Tracer(int ranks, TracerOptions options)
+    : options_(std::move(options)) {
+  ftio::util::expect(ranks >= 1, "Tracer: ranks must be >= 1");
+  per_rank_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    per_rank_.push_back(std::make_unique<PerRank>());
+  }
+  flushed_counts_.assign(static_cast<std::size_t>(ranks), 0);
+}
+
+void Tracer::record(int rank, ftio::trace::IoKind kind, double start,
+                    double end, std::uint64_t bytes) {
+  ftio::util::expect(rank >= 0 && rank < ranks(), "Tracer: rank out of range");
+  ftio::util::expect(end >= start, "Tracer: request with end < start");
+  const auto t0 = Clock::now();
+  auto& slot = *per_rank_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(slot.mutex);
+  slot.requests.push_back({rank, start, end, bytes, kind});
+  ++slot.record_count;
+  slot.record_seconds += seconds_since(t0);
+}
+
+void Tracer::append_meta_locked() {
+  if (meta_written_) return;
+  const auto meta = meta_record(options_, ranks());
+  if (options_.format == Format::kJsonl) {
+    const std::string line = meta.dump() + "\n";
+    sink_.insert(sink_.end(), line.begin(), line.end());
+  } else {
+    ftio::util::msgpack::encode_to(meta, sink_);
+  }
+  meta_written_ = true;
+}
+
+void Tracer::append_records_locked(
+    const std::vector<ftio::trace::IoRequest>& batch) {
+  for (const auto& r : batch) {
+    const auto record = io_record(r);
+    if (options_.format == Format::kJsonl) {
+      const std::string line = record.dump() + "\n";
+      sink_.insert(sink_.end(), line.begin(), line.end());
+    } else {
+      ftio::util::msgpack::encode_to(record, sink_);
+    }
+  }
+}
+
+void Tracer::write_sink_to_file() {
+  if (options_.path.empty()) return;
+  ftio::util::write_binary_file(options_.path, sink_);
+}
+
+void Tracer::flush(double now) {
+  const auto t0 = Clock::now();
+  std::lock_guard sink_lock(sink_mutex_);
+  append_meta_locked();
+  for (std::size_t rank = 0; rank < per_rank_.size(); ++rank) {
+    std::vector<ftio::trace::IoRequest> batch;
+    {
+      auto& slot = *per_rank_[rank];
+      std::lock_guard lock(slot.mutex);
+      const std::size_t have = slot.requests.size();
+      const std::size_t done = flushed_counts_[rank];
+      if (have > done) {
+        batch.assign(slot.requests.begin() + static_cast<std::ptrdiff_t>(done),
+                     slot.requests.end());
+        flushed_counts_[rank] = have;
+      }
+    }
+    append_records_locked(batch);
+  }
+  const auto marker = flush_record(now);
+  if (options_.format == Format::kJsonl) {
+    const std::string line = marker.dump() + "\n";
+    sink_.insert(sink_.end(), line.begin(), line.end());
+  } else {
+    ftio::util::msgpack::encode_to(marker, sink_);
+  }
+  write_sink_to_file();
+  ++flush_count_;
+  flush_seconds_ += seconds_since(t0);
+}
+
+void Tracer::finalize() {
+  {
+    std::lock_guard sink_lock(sink_mutex_);
+    if (finalized_) return;
+    finalized_ = true;
+  }
+  // One last flush carries any outstanding records; use the latest request
+  // end as the marker time.
+  double last = 0.0;
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    for (const auto& r : slot->requests) last = std::max(last, r.end);
+  }
+  flush(last);
+}
+
+ftio::trace::Trace Tracer::snapshot() const {
+  ftio::trace::Trace t;
+  t.app = options_.app_name;
+  t.rank_count = ranks();
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    t.requests.insert(t.requests.end(), slot->requests.begin(),
+                      slot->requests.end());
+  }
+  t.sort_by_start();
+  return t;
+}
+
+ftio::trace::Trace Tracer::unflushed_chunk() const {
+  ftio::trace::Trace t;
+  t.app = options_.app_name;
+  t.rank_count = ranks();
+  std::lock_guard sink_lock(sink_mutex_);
+  for (std::size_t rank = 0; rank < per_rank_.size(); ++rank) {
+    const auto& slot = *per_rank_[rank];
+    std::lock_guard lock(slot.mutex);
+    for (std::size_t i = flushed_counts_[rank]; i < slot.requests.size(); ++i) {
+      t.requests.push_back(slot.requests[i]);
+    }
+  }
+  t.sort_by_start();
+  return t;
+}
+
+OverheadStats Tracer::overhead() const {
+  OverheadStats stats;
+  for (const auto& slot : per_rank_) {
+    std::lock_guard lock(slot->mutex);
+    stats.record_count += slot->record_count;
+    stats.record_seconds += slot->record_seconds;
+  }
+  std::lock_guard sink_lock(sink_mutex_);
+  stats.flush_count = flush_count_;
+  stats.flush_seconds = flush_seconds_;
+  return stats;
+}
+
+}  // namespace ftio::tmio

@@ -1,0 +1,263 @@
+#include "trace/formats.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/msgpack.hpp"
+
+namespace ftio::trace {
+
+namespace {
+
+using ftio::util::Json;
+
+Json meta_record(const Trace& trace) {
+  Json obj = Json::object();
+  obj.set("type", "meta");
+  obj.set("app", trace.app);
+  obj.set("ranks", static_cast<std::int64_t>(trace.rank_count));
+  return obj;
+}
+
+Json io_record(const IoRequest& r) {
+  Json obj = Json::object();
+  obj.set("type", "io");
+  obj.set("kind", io_kind_name(r.kind));
+  obj.set("rank", static_cast<std::int64_t>(r.rank));
+  obj.set("start", r.start);
+  obj.set("end", r.end);
+  obj.set("bytes", static_cast<std::int64_t>(r.bytes));
+  return obj;
+}
+
+/// Applies one parsed record to the trace under construction. Returns
+/// false for unknown record types (skipped for forward compatibility).
+void apply_record(const Json& record, Trace& out) {
+  if (!record.is_object() || !record.contains("type")) {
+    throw ftio::util::ParseError("trace record without 'type'");
+  }
+  const std::string& type = record.at("type").as_string();
+  if (type == "meta") {
+    if (record.contains("app")) out.app = record.at("app").as_string();
+    out.rank_count = static_cast<int>(record.get_int_or("ranks", 0));
+  } else if (type == "io") {
+    IoRequest r;
+    r.rank = static_cast<int>(record.get_int_or("rank", 0));
+    r.start = record.at("start").as_double();
+    r.end = record.at("end").as_double();
+    r.bytes = static_cast<std::uint64_t>(record.get_int_or("bytes", 0));
+    r.kind = record.at("kind").as_string() == "read" ? IoKind::kRead
+                                                     : IoKind::kWrite;
+    if (r.end < r.start) {
+      throw ftio::util::ParseError("trace record with end < start");
+    }
+    out.requests.push_back(r);
+  }
+  // Other types (e.g. "flush") carry no request data; skip them.
+}
+
+}  // namespace
+
+std::string to_jsonl(const Trace& trace) {
+  std::string out = meta_record(trace).dump();
+  out.push_back('\n');
+  for (const auto& r : trace.requests) {
+    out += io_record(r).dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Trace from_jsonl(std::string_view text) {
+  Trace out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    apply_record(Json::parse(line), out);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> to_msgpack(const Trace& trace) {
+  std::vector<std::uint8_t> out;
+  ftio::util::msgpack::encode_to(meta_record(trace), out);
+  for (const auto& r : trace.requests) {
+    ftio::util::msgpack::encode_to(io_record(r), out);
+  }
+  return out;
+}
+
+Trace from_msgpack(std::span<const std::uint8_t> bytes) {
+  Trace out;
+  for (const auto& record : ftio::util::msgpack::decode_stream(bytes)) {
+    apply_record(record, out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder-like CSV
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double parse_double_field(const std::string& s) {
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    throw ftio::util::ParseError("csv: invalid number '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64_field(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    throw ftio::util::ParseError("csv: invalid integer '" + s + "'");
+  }
+  return v;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_recorder_csv(const Trace& trace) {
+  ftio::util::CsvTable table;
+  table.header = {"rank", "start", "end", "bytes", "op"};
+  table.rows.reserve(trace.requests.size());
+  for (const auto& r : trace.requests) {
+    table.rows.push_back({std::to_string(r.rank), format_double(r.start),
+                          format_double(r.end), std::to_string(r.bytes),
+                          io_kind_name(r.kind)});
+  }
+  return ftio::util::write_csv(table);
+}
+
+Trace from_recorder_csv(std::string_view text) {
+  const auto table = ftio::util::parse_csv(text);
+  const auto c_rank = table.column("rank");
+  const auto c_start = table.column("start");
+  const auto c_end = table.column("end");
+  const auto c_bytes = table.column("bytes");
+  const auto c_op = table.column("op");
+
+  Trace out;
+  int max_rank = -1;
+  for (const auto& row : table.rows) {
+    IoRequest r;
+    r.rank = static_cast<int>(parse_double_field(row[c_rank]));
+    r.start = parse_double_field(row[c_start]);
+    r.end = parse_double_field(row[c_end]);
+    r.bytes = parse_u64_field(row[c_bytes]);
+    r.kind = row[c_op] == "read" ? IoKind::kRead : IoKind::kWrite;
+    if (r.end < r.start) {
+      throw ftio::util::ParseError("csv: request with end < start");
+    }
+    max_rank = std::max(max_rank, r.rank);
+    out.requests.push_back(r);
+  }
+  out.rank_count = max_rank + 1;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Darshan-like heatmap
+// ---------------------------------------------------------------------------
+
+ftio::signal::StepFunction Heatmap::bandwidth() const {
+  if (bytes_per_bin.empty() || bin_width <= 0.0) return {};
+  std::vector<double> times(bytes_per_bin.size() + 1);
+  std::vector<double> values(bytes_per_bin.size());
+  for (std::size_t i = 0; i <= bytes_per_bin.size(); ++i) {
+    times[i] = start_time + static_cast<double>(i) * bin_width;
+  }
+  for (std::size_t i = 0; i < bytes_per_bin.size(); ++i) {
+    values[i] = bytes_per_bin[i] / bin_width;
+  }
+  return ftio::signal::StepFunction(std::move(times), std::move(values));
+}
+
+std::string to_heatmap_csv(const Heatmap& heatmap) {
+  ftio::util::CsvTable table;
+  table.header = {"app", "bin_start", "bin_end", "bytes"};
+  table.rows.reserve(heatmap.bytes_per_bin.size());
+  for (std::size_t i = 0; i < heatmap.bytes_per_bin.size(); ++i) {
+    const double lo = heatmap.start_time + static_cast<double>(i) * heatmap.bin_width;
+    const double hi = lo + heatmap.bin_width;
+    table.rows.push_back({heatmap.app, format_double(lo), format_double(hi),
+                          format_double(heatmap.bytes_per_bin[i])});
+  }
+  return ftio::util::write_csv(table);
+}
+
+Heatmap from_heatmap_csv(std::string_view text) {
+  const auto table = ftio::util::parse_csv(text);
+  const auto c_app = table.column("app");
+  const auto c_lo = table.column("bin_start");
+  const auto c_hi = table.column("bin_end");
+  const auto c_bytes = table.column("bytes");
+
+  Heatmap h;
+  ftio::util::expect(!table.rows.empty(), "heatmap csv without rows");
+  h.app = table.rows.front()[c_app];
+  h.start_time = parse_double_field(table.rows.front()[c_lo]);
+  h.bin_width = parse_double_field(table.rows.front()[c_hi]) - h.start_time;
+  ftio::util::expect(h.bin_width > 0.0, "heatmap csv with non-positive bins");
+  for (const auto& row : table.rows) {
+    h.bytes_per_bin.push_back(parse_double_field(row[c_bytes]));
+  }
+  return h;
+}
+
+Heatmap heatmap_from_trace(const Trace& trace, double bin_width) {
+  ftio::util::expect(bin_width > 0.0, "heatmap_from_trace: bin_width <= 0");
+  Heatmap h;
+  h.app = trace.app;
+  h.bin_width = bin_width;
+  if (trace.empty()) return h;
+  h.start_time = trace.begin_time();
+  const double duration = trace.duration();
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(duration / bin_width));
+  h.bytes_per_bin.assign(std::max<std::size_t>(bins, 1), 0.0);
+
+  for (const auto& r : trace.requests) {
+    if (r.bytes == 0) continue;
+    if (r.duration() <= 0.0) {
+      // Instantaneous request: attribute all bytes to its bin.
+      auto bin = static_cast<std::size_t>((r.start - h.start_time) / bin_width);
+      bin = std::min(bin, h.bytes_per_bin.size() - 1);
+      h.bytes_per_bin[bin] += static_cast<double>(r.bytes);
+      continue;
+    }
+    const double rate = static_cast<double>(r.bytes) / r.duration();
+    auto first = static_cast<std::size_t>((r.start - h.start_time) / bin_width);
+    first = std::min(first, h.bytes_per_bin.size() - 1);
+    for (std::size_t b = first; b < h.bytes_per_bin.size(); ++b) {
+      const double lo = h.start_time + static_cast<double>(b) * bin_width;
+      const double hi = lo + bin_width;
+      if (lo >= r.end) break;
+      const double overlap = std::min(hi, r.end) - std::max(lo, r.start);
+      if (overlap > 0.0) h.bytes_per_bin[b] += rate * overlap;
+    }
+  }
+  return h;
+}
+
+}  // namespace ftio::trace

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "signal/step_function.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::trace {
+
+// ---------------------------------------------------------------------------
+// TMIO native formats (Sec. II-A: "JSON Lines or MessagePack")
+// ---------------------------------------------------------------------------
+
+/// Serialises a trace as TMIO JSON Lines: one `meta` record followed by one
+/// record per request, e.g.
+///   {"type":"meta","app":"ior","ranks":32}
+///   {"type":"io","kind":"write","rank":0,"start":1.5,"end":1.75,"bytes":1048576}
+std::string to_jsonl(const Trace& trace);
+
+/// Parses TMIO JSON Lines. Unknown record types are skipped so the format
+/// can grow (e.g. the online mode's flush markers).
+Trace from_jsonl(std::string_view text);
+
+/// Serialises a trace as a stream of MessagePack documents carrying the
+/// same records as the JSONL form.
+std::vector<std::uint8_t> to_msgpack(const Trace& trace);
+
+/// Parses a MessagePack trace stream.
+Trace from_msgpack(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Recorder-like per-request CSV (Sec. II-A: "we support Recorder")
+// ---------------------------------------------------------------------------
+
+/// CSV with columns rank,start,end,bytes,op (op in {write, read}).
+std::string to_recorder_csv(const Trace& trace);
+Trace from_recorder_csv(std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Darshan-like heatmap (Sec. III-B b: FTIO "extracted the heatmap from [the]
+// Darshan profile and automatically set the sampling frequency to the bin
+// widths")
+// ---------------------------------------------------------------------------
+
+/// Aggregated bytes-per-time-bin profile, the information FTIO consumes
+/// from a Darshan heatmap.
+struct Heatmap {
+  std::string app;
+  double start_time = 0.0;           ///< time of the first bin's left edge
+  double bin_width = 0.0;            ///< seconds per bin
+  std::vector<double> bytes_per_bin; ///< transferred bytes in each bin
+
+  double duration() const { return bin_width * static_cast<double>(bytes_per_bin.size()); }
+  /// The sampling frequency FTIO derives from the bins: fs = 1 / bin_width.
+  double implied_sampling_frequency() const { return bin_width > 0.0 ? 1.0 / bin_width : 0.0; }
+  /// Bandwidth step curve (bytes/s per bin) for analysis.
+  ftio::signal::StepFunction bandwidth() const;
+};
+
+/// CSV with a `# app=<name> bin_width=<s> start=<s>` comment-free design:
+/// columns bin_start,bin_end,bytes. One row per bin.
+std::string to_heatmap_csv(const Heatmap& heatmap);
+Heatmap from_heatmap_csv(std::string_view text);
+
+/// Bins a request trace into a heatmap (used to fabricate Darshan-like
+/// inputs from simulated runs and in tests).
+Heatmap heatmap_from_trace(const Trace& trace, double bin_width);
+
+}  // namespace ftio::trace

@@ -1,0 +1,149 @@
+#include "trace/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace ftio::trace {
+
+const char* io_kind_name(IoKind kind) {
+  return kind == IoKind::kWrite ? "write" : "read";
+}
+
+double Trace::begin_time() const {
+  if (requests.empty()) return 0.0;
+  double t = requests.front().start;
+  for (const auto& r : requests) t = std::min(t, r.start);
+  return t;
+}
+
+double Trace::end_time() const {
+  if (requests.empty()) return 0.0;
+  double t = requests.front().end;
+  for (const auto& r : requests) t = std::max(t, r.end);
+  return t;
+}
+
+std::uint64_t Trace::total_bytes(std::optional<IoKind> kind) const {
+  std::uint64_t total = 0;
+  for (const auto& r : requests) {
+    if (!kind || r.kind == *kind) total += r.bytes;
+  }
+  return total;
+}
+
+Trace Trace::filtered(IoKind kind) const {
+  Trace out;
+  out.app = app;
+  out.rank_count = rank_count;
+  for (const auto& r : requests) {
+    if (r.kind == kind) out.requests.push_back(r);
+  }
+  return out;
+}
+
+Trace Trace::window(double t0, double t1) const {
+  ftio::util::expect(t1 > t0, "Trace::window: empty window");
+  Trace out;
+  out.app = app;
+  out.rank_count = rank_count;
+  for (const auto& r : requests) {
+    if (r.end <= t0 || r.start >= t1) continue;
+    IoRequest clipped = r;
+    const double full = r.duration();
+    clipped.start = std::max(r.start, t0);
+    clipped.end = std::min(r.end, t1);
+    if (full > 0.0) {
+      // Scale bytes to the clipped fraction so bandwidth stays unchanged.
+      const double frac = clipped.duration() / full;
+      clipped.bytes = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(r.bytes) * frac));
+    }
+    out.requests.push_back(clipped);
+  }
+  return out;
+}
+
+void Trace::sort_by_start() {
+  std::sort(requests.begin(), requests.end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.rank < b.rank;
+            });
+}
+
+namespace {
+
+bool request_selected(const IoRequest& r, const BandwidthOptions& options) {
+  if (options.kind && r.kind != *options.kind) return false;
+  if (options.window_start && r.end <= *options.window_start) return false;
+  if (options.window_end && r.start >= *options.window_end) return false;
+  return true;
+}
+
+ftio::signal::StepFunction sweep(const Trace& trace,
+                                 const BandwidthOptions& options,
+                                 std::optional<int> only_rank) {
+  // Event sweep: +bw at request start, -bw at request end; prefix-summing
+  // the sorted events yields the piecewise-constant aggregate bandwidth.
+  struct Event {
+    double time;
+    double delta;
+  };
+  std::vector<Event> events;
+  events.reserve(trace.requests.size() * 2);
+  for (const auto& r : trace.requests) {
+    if (only_rank && r.rank != *only_rank) continue;
+    if (!request_selected(r, options)) continue;
+    double start = r.start;
+    double end = r.end;
+    if (options.window_start) start = std::max(start, *options.window_start);
+    if (options.window_end) end = std::min(end, *options.window_end);
+    if (end <= start) continue;
+    const double bw = r.bandwidth();
+    if (bw <= 0.0) continue;
+    events.push_back({start, bw});
+    events.push_back({end, -bw});
+  }
+  if (events.empty()) return {};
+
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  // Distinct event times are the segment boundaries; the value of segment
+  // [times[i], times[i+1]) is the running level after applying all deltas
+  // at times[i].
+  std::vector<double> times;
+  times.reserve(events.size() + 1);
+  for (const auto& e : events) {
+    if (times.empty() || times.back() != e.time) times.push_back(e.time);
+  }
+  std::vector<double> seg_values;
+  seg_values.reserve(times.size() - 1);
+  double level = 0.0;
+  std::size_t ev = 0;
+  for (std::size_t b = 0; b + 1 < times.size(); ++b) {
+    while (ev < events.size() && events[ev].time == times[b]) {
+      level += events[ev].delta;
+      ++ev;
+    }
+    seg_values.push_back(std::max(level, 0.0));
+  }
+  return ftio::signal::StepFunction(std::move(times), std::move(seg_values));
+}
+
+}  // namespace
+
+ftio::signal::StepFunction bandwidth_signal(const Trace& trace,
+                                            const BandwidthOptions& options) {
+  return sweep(trace, options, std::nullopt);
+}
+
+ftio::signal::StepFunction rank_bandwidth_signal(
+    const Trace& trace, int rank, const BandwidthOptions& options) {
+  return sweep(trace, options, rank);
+}
+
+}  // namespace ftio::trace

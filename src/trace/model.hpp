@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "signal/step_function.hpp"
+
+namespace ftio::trace {
+
+/// Direction of an I/O request.
+enum class IoKind { kWrite, kRead };
+
+const char* io_kind_name(IoKind kind);
+
+/// One traced I/O request, the unit TMIO records at rank level
+/// (Sec. II-A: "metrics such as start time, end time, and transferred
+/// bytes"). Times are seconds since application start.
+struct IoRequest {
+  int rank = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t bytes = 0;
+  IoKind kind = IoKind::kWrite;
+
+  double duration() const { return end - start; }
+  /// Average bandwidth of this single request in bytes/s.
+  double bandwidth() const { return duration() > 0.0 ? static_cast<double>(bytes) / duration() : 0.0; }
+};
+
+/// A complete application trace: every request of every rank, plus the
+/// metadata TMIO stores in its file header.
+struct Trace {
+  std::string app;      ///< application name, e.g. "ior"
+  int rank_count = 0;   ///< number of MPI ranks (P)
+  std::vector<IoRequest> requests;
+
+  bool empty() const { return requests.empty(); }
+  /// Earliest request start (0 when empty).
+  double begin_time() const;
+  /// Latest request end (0 when empty).
+  double end_time() const;
+  /// L(T): trace length from first start to last end.
+  double duration() const { return end_time() - begin_time(); }
+  /// V(T): total transferred bytes (optionally one direction only).
+  std::uint64_t total_bytes(std::optional<IoKind> kind = std::nullopt) const;
+
+  /// Requests of one direction, in a new trace.
+  Trace filtered(IoKind kind) const;
+  /// Requests overlapping [t0, t1], clipped to the window.
+  Trace window(double t0, double t1) const;
+  /// Sorts requests by (start, rank); ingestion leaves file order intact.
+  void sort_by_start();
+};
+
+/// Options for building the application-level bandwidth signal.
+struct BandwidthOptions {
+  /// Only include requests of this direction (both when unset).
+  std::optional<IoKind> kind;
+  /// Restrict to requests overlapping [window_start, window_end].
+  std::optional<double> window_start;
+  std::optional<double> window_end;
+};
+
+/// Computes the application-level bandwidth-over-time curve by overlapping
+/// the per-rank requests (Sec. II-A: "The overlapping of the requests
+/// (i.e., bandwidth at the application level) is evaluated ... with a
+/// linear complexity with the number of I/O requests"). Each request
+/// contributes bytes/duration uniformly over [start, end); contributions
+/// add where requests overlap. O(R log R) including the event sort.
+ftio::signal::StepFunction bandwidth_signal(const Trace& trace,
+                                            const BandwidthOptions& options = {});
+
+/// Bandwidth curve of a single rank (Sec. VI: per-process use cases).
+ftio::signal::StepFunction rank_bandwidth_signal(const Trace& trace, int rank,
+                                                 const BandwidthOptions& options = {});
+
+}  // namespace ftio::trace

@@ -1,0 +1,101 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace ftio::util {
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("csv: missing column '" + std::string(name) + "'");
+}
+
+namespace {
+
+std::vector<std::string> parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    auto fields = parse_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        throw ParseError("csv: row width differs from header");
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+std::string write_csv(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      if (needs_quoting(row[i])) {
+        out.push_back('"');
+        for (char c : row[i]) {
+          if (c == '"') out += "\"\"";
+          else out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+}  // namespace ftio::util

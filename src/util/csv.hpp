@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftio::util {
+
+/// A parsed CSV document: a header row plus data rows of equal width.
+/// Used for the Recorder-like per-request format and the Darshan-like
+/// heatmap export (Sec. II-A: "we support Recorder and Darshan profile and
+/// traces").
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws ParseError when absent.
+  std::size_t column(std::string_view name) const;
+};
+
+/// Parses CSV text. Handles quoted fields with embedded commas/quotes and
+/// both \n and \r\n line endings. Empty trailing lines are ignored.
+CsvTable parse_csv(std::string_view text);
+
+/// Serialises a table back to CSV (quoting only where needed).
+std::string write_csv(const CsvTable& table);
+
+}  // namespace ftio::util

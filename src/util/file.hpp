@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ftio::util {
+
+/// Reads an entire text file; throws ParseError when it cannot be opened.
+inline std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file: " + path.string());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Writes (truncates) a text file; throws ParseError on failure.
+inline void write_text_file(const std::filesystem::path& path,
+                            const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ParseError("cannot write file: " + path.string());
+  out << content;
+}
+
+/// Reads an entire binary file.
+inline std::vector<std::uint8_t> read_binary_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file: " + path.string());
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// Writes (truncates) a binary file.
+inline void write_binary_file(const std::filesystem::path& path,
+                              const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ParseError("cannot write file: " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace ftio::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ftio::util {
+
+/// Runs body(i) for i in [0, count) across up to `threads` worker threads
+/// (0 = hardware concurrency). Used for the embarrassingly parallel
+/// experiment sweeps (100 traces per parameter point in Sec. III-A).
+/// `body` must be safe to call concurrently for distinct indices.
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  n = std::max(1u, std::min<unsigned>(n, static_cast<unsigned>(count)));
+  if (n == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  std::atomic<std::size_t> next{0};
+  for (unsigned t = 0; t < n; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) break;
+        body(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace ftio::util

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ftio::util {
+
+double Rng::uniform(double lo, double hi) {
+  expect(lo <= hi, "Rng::uniform: lo > hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expect(lo <= hi, "Rng::uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mu, double sigma) {
+  expect(sigma >= 0.0, "Rng::normal: negative sigma");
+  if (sigma == 0.0) return mu;
+  std::normal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+double Rng::truncated_positive_normal(double mu, double sigma) {
+  if (sigma == 0.0) return std::max(mu, 0.0);
+  // Rejection sampling; with mu >= 0 the acceptance probability is >= 0.5,
+  // and the paper's experiments always have mu > 0. Guard the pathological
+  // case (deep negative mu) with a bounded retry count.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double draw = normal(mu, sigma);
+    if (draw > 0.0) return draw;
+  }
+  return std::max(mu, 1e-9);
+}
+
+double Rng::exponential(double mean) {
+  expect(mean >= 0.0, "Rng::exponential: negative mean");
+  if (mean == 0.0) return 0.0;
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+std::size_t Rng::pick_index(std::size_t size) {
+  expect(size > 0, "Rng::pick_index: empty range");
+  std::uniform_int_distribution<std::size_t> dist(0, size - 1);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  expect(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p outside [0, 1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace ftio::util

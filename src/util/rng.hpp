@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace ftio::util {
+
+/// Deterministic random number source used by all stochastic components.
+///
+/// Every generator in the repo (workload synthesis, noise injection, error
+/// injection for Fig. 17) takes an explicit seed so that experiments are
+/// reproducible; benches print the seeds they use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mu, double sigma);
+
+  /// Normal draw truncated to strictly positive values, as used for the
+  /// compute-phase lengths t_cpu in Sec. III-A ("truncated to only select
+  /// positive values"). Implemented by rejection; for sigma = 0 it returns
+  /// max(mu, 0).
+  double truncated_positive_normal(double mu, double sigma);
+
+  /// Exponential draw with the given mean (the paper's phi for delta_k).
+  /// A mean of 0 returns 0.
+  double exponential(double mean);
+
+  /// Uniformly chosen index in [0, size).
+  std::size_t pick_index(std::size_t size);
+
+  /// Returns true with probability p.
+  bool bernoulli(double p);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ftio::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftio::util {
+
+/// Fixed-width console table used by the bench binaries to print the
+/// rows/series of each reproduced figure.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats a ratio as a percentage string, e.g. 0.605 -> "60.5%".
+  static std::string percent(double ratio, int precision = 1);
+
+  /// Renders with column alignment and a separator line under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftio::util

@@ -1,0 +1,180 @@
+#include "workloads/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftio::workloads {
+
+ftio::trace::Trace generate_lammps_trace(const LammpsConfig& config) {
+  ftio::util::expect(config.ranks >= 1 && config.steps >= config.dump_every,
+                     "generate_lammps_trace: bad configuration");
+  ftio::util::Rng rng(config.seed);
+  ftio::trace::Trace trace;
+  trace.app = "lammps";
+  trace.rank_count = config.ranks;
+
+  const int dumps = config.steps / config.dump_every;
+  const double nominal_gap =
+      config.step_seconds * static_cast<double>(config.dump_every);
+  const double total_bytes = static_cast<double>(config.dump_bytes_per_rank) *
+                             static_cast<double>(config.ranks);
+  const double dump_seconds = total_bytes / config.dump_bandwidth;
+
+  double t = nominal_gap;  // first dump happens after the first 20 steps
+  for (int d = 0; d < dumps; ++d) {
+    // The dump serialises rank groups: emulate with ranks writing in a
+    // pipelined fashion across the dump window (low aggregate bandwidth).
+    const double per_rank = dump_seconds / static_cast<double>(config.ranks);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      const double start = t + per_rank * static_cast<double>(rank);
+      trace.requests.push_back({rank, start, start + per_rank,
+                                config.dump_bytes_per_rank,
+                                ftio::trace::IoKind::kWrite});
+    }
+    // The dump-to-dump cadence is the 20-step simulation time: the dump
+    // overlaps the start of the next step window (LAMMPS' real mean
+    // period in the paper is 27.38 s for step_seconds * dump_every).
+    const double jitter = rng.uniform(1.0 - config.step_jitter,
+                                      1.0 + config.step_jitter);
+    t += nominal_gap * jitter;
+  }
+  trace.sort_by_start();
+  return trace;
+}
+
+ftio::trace::Trace generate_haccio_trace(const HaccIoConfig& config) {
+  ftio::util::expect(config.ranks >= 1, "generate_haccio_trace: ranks >= 1");
+  ftio::util::expect(
+      static_cast<int>(config.phase_gaps.size()) + 1 >= config.loops,
+      "generate_haccio_trace: need loops-1 phase gaps");
+  ftio::trace::Trace trace;
+  trace.app = "hacc-io";
+  trace.rank_count = config.ranks;
+
+  auto emit_phase = [&](double start, double write_s, double read_s) {
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      trace.requests.push_back({rank, start, start + write_s,
+                                config.write_bytes_per_rank,
+                                ftio::trace::IoKind::kWrite});
+      trace.requests.push_back({rank, start + write_s,
+                                start + write_s + read_s,
+                                config.read_bytes_per_rank,
+                                ftio::trace::IoKind::kRead});
+    }
+  };
+
+  // Delayed first phase (4.1 s .. 15.3 s in the paper's run).
+  double start = config.first_phase_start;
+  const double first_write =
+      config.first_phase_duration *
+      (config.write_seconds / (config.write_seconds + config.read_seconds));
+  const double first_read = config.first_phase_duration - first_write;
+  emit_phase(start, first_write, first_read);
+
+  for (int loop = 1; loop < config.loops; ++loop) {
+    start += config.phase_gaps[static_cast<std::size_t>(loop - 1)];
+    emit_phase(start, config.write_seconds, config.read_seconds);
+  }
+  // Trailing verify step of the last loop: a negligible read that closes
+  // the run a couple of seconds after the last I/O phase. It extends the
+  // analysis window the same way the real run's verify stage did — which
+  // is what puts the true frequency *between* two DFT bins and yields the
+  // paper's pair of close dominant-frequency candidates (Fig. 12).
+  trace.requests.push_back({0,
+                            start + config.write_seconds +
+                                config.read_seconds + 2.6,
+                            start + config.write_seconds +
+                                config.read_seconds + 2.65,
+                            1, ftio::trace::IoKind::kRead});
+  trace.sort_by_start();
+  return trace;
+}
+
+ftio::trace::Trace generate_miniio_trace(const MiniIoConfig& config) {
+  ftio::util::expect(config.ranks >= 1, "generate_miniio_trace: ranks >= 1");
+  ftio::util::Rng rng(config.seed);
+  ftio::trace::Trace trace;
+  trace.app = "miniio";
+  trace.rank_count = config.ranks;
+
+  double t = 0.2;
+  for (int d = 0; d < config.dumps; ++d) {
+    double burst_t = t;
+    for (int b = 0; b < config.bursts_per_dump; ++b) {
+      // All ranks fire a sub-millisecond burst together.
+      for (int rank = 0; rank < config.ranks; ++rank) {
+        trace.requests.push_back(
+            {rank, burst_t, burst_t + config.burst_seconds,
+             config.burst_bytes / static_cast<std::uint64_t>(config.ranks),
+             ftio::trace::IoKind::kWrite});
+      }
+      burst_t += config.burst_seconds +
+                 config.burst_gap * rng.uniform(0.8, 1.2);
+    }
+    t += config.dump_interval * rng.uniform(0.95, 1.05);
+  }
+  trace.sort_by_start();
+  return trace;
+}
+
+ftio::trace::Heatmap generate_nek5000_heatmap(const NekConfig& config) {
+  ftio::util::expect(config.bin_width > 0.0 && config.duration > 0.0,
+                     "generate_nek5000_heatmap: bad configuration");
+  ftio::util::Rng rng(config.seed);
+  ftio::trace::Heatmap h;
+  h.app = "nek5000";
+  h.bin_width = config.bin_width;
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(config.duration / config.bin_width));
+  h.bytes_per_bin.assign(bins, 0.0);
+
+  // Nek5000 checkpoints stream for minutes, so each phase spans several
+  // 160 s bins; spreading the volume keeps the heatmap's spectrum from
+  // degenerating into a Dirac comb whose harmonics never decay.
+  auto deposit = [&](double time, double duration, double bytes) {
+    const double rate = bytes / duration;
+    double t = std::max(time, 0.0);
+    const double end = t + duration;
+    while (t < end) {
+      auto bin = static_cast<std::size_t>(t / config.bin_width);
+      if (bin >= h.bytes_per_bin.size()) break;
+      const double bin_end =
+          static_cast<double>(bin + 1) * config.bin_width;
+      const double overlap = std::min(end, bin_end) - t;
+      h.bytes_per_bin[bin] += rate * overlap;
+      t = bin_end;
+    }
+  };
+
+  // Initial 13 GB write-out and the 75 GB phase at 45,000 s.
+  deposit(10.0, 600.0, 13e9);
+  deposit(45'000.0, 2000.0, 75e9);
+  // Irregular 30 GB phases that spoil full-window periodicity.
+  deposit(57'000.0, 1600.0, 30e9);
+  deposit(85'000.0, 1600.0, 30e9);
+  // After ~57,000 s the run keeps checkpointing at irregular instants
+  // (the paper's full-window analysis found no periodicity).
+  for (double irregular : {59'800.0, 61'400.0, 64'200.0, 66'900.0, 70'100.0,
+                           71'900.0, 74'800.0, 77'300.0, 80'700.0, 83'100.0}) {
+    deposit(irregular, 400.0, rng.uniform(5e9, 9e9));
+  }
+  // Continuous low-level background I/O (log files, small reads) fills the
+  // remaining bins, as production Darshan heatmaps show.
+  for (auto& bin : h.bytes_per_bin) {
+    bin += rng.uniform(2e8, 2e9);
+  }
+  // Regular ~7 GB checkpoints roughly every 4642 s, unevenly spaced.
+  double t = config.regular_period;
+  while (t < config.regular_until) {
+    const double jitter = rng.uniform(-config.regular_jitter,
+                                      config.regular_jitter);
+    deposit(t + jitter, 400.0, 7e9);
+    t += config.regular_period;
+  }
+  return h;
+}
+
+}  // namespace ftio::workloads

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/formats.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::workloads {
+
+// ---------------------------------------------------------------------------
+// LAMMPS (Sec. III-B a): 2-d LJ flow, 300 steps, dump every 20 steps
+// ---------------------------------------------------------------------------
+
+struct LammpsConfig {
+  int ranks = 3072;
+  int steps = 300;
+  int dump_every = 20;           ///< -> 15 dump phases
+  double step_seconds = 1.37;    ///< simulation step cost (=> ~27.4 s cadence)
+  double step_jitter = 0.06;     ///< relative jitter per inter-dump gap
+  /// "low I/O performance due to the writing method": every rank dumps a
+  /// small atom chunk through a serialised path.
+  std::uint64_t dump_bytes_per_rank = 2'000'000;
+  double dump_bandwidth = 1.2e9; ///< aggregate during a dump, bytes/s
+  std::uint64_t seed = 3;
+};
+
+/// Emulates the paper's LAMMPS run: low-bandwidth dumps roughly every
+/// 27.4 s (the reported real mean period; FTIO detected 25.73 s).
+ftio::trace::Trace generate_lammps_trace(const LammpsConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// HACC-IO (Sec. III-B c): compute, write, read, verify in a loop
+// ---------------------------------------------------------------------------
+
+struct HaccIoConfig {
+  int ranks = 3072;
+  int loops = 10;
+  /// Start-to-start gaps of the ten phases as printed in Fig. 15a; the
+  /// first phase is prolonged by initialization overheads.
+  std::vector<double> phase_gaps = {15.9, 7.3, 7.9, 7.6, 7.7,
+                                    8.3, 8.1, 7.6, 8.0};
+  double write_seconds = 1.4;   ///< write part of each phase
+  double read_seconds = 0.7;    ///< read-back part
+  std::uint64_t write_bytes_per_rank = 12'000'000;
+  std::uint64_t read_bytes_per_rank = 12'000'000;
+  /// The first phase is stretched: it lasts from 4.1 s to 15.3 s.
+  double first_phase_start = 4.1;
+  double first_phase_duration = 11.2;
+  std::uint64_t seed = 4;
+};
+
+/// Emulates the HACC-IO loop with the paper's observed phase layout:
+/// average period ~8.7 s including the delayed first phase, ~7.7 s without.
+ftio::trace::Trace generate_haccio_trace(const HaccIoConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// miniIO (Sec. II-E / Fig. 6): unstructured-grid mini-app whose bursts are
+// far shorter than a 100 Hz sampling grid
+// ---------------------------------------------------------------------------
+
+struct MiniIoConfig {
+  int ranks = 144;
+  int dumps = 12;
+  double dump_interval = 1.0;      ///< seconds between burst groups
+  /// Each dump is a group of sub-millisecond bursts — the behaviour that
+  /// makes fs = 100 Hz insufficient in Fig. 6.
+  int bursts_per_dump = 6;
+  double burst_seconds = 0.0008;   ///< 0.8 ms
+  double burst_gap = 0.004;
+  std::uint64_t burst_bytes = 3'000'000;
+  std::uint64_t seed = 5;
+};
+
+/// Emulates miniIO's pathological (for sampling) burst structure.
+ftio::trace::Trace generate_miniio_trace(const MiniIoConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Nek5000 (Sec. III-B b): Darshan heatmap of a turbulence simulation
+// ---------------------------------------------------------------------------
+
+struct NekConfig {
+  double bin_width = 160.0;      ///< fs = 1/160 = 0.00625 Hz, as FTIO derives
+  double duration = 86'000.0;    ///< full profile length
+  double regular_period = 4642.1;///< cadence of the 7 GB checkpoint phases
+  double regular_jitter = 350.0; ///< the bins "are not equally spaced"
+  double regular_until = 56'000.0;
+  std::uint64_t seed = 6;
+};
+
+/// Synthesises the Darshan-like heatmap the paper analysed: 7 GB phases
+/// roughly every 4642 s up to ~56,000 s, 13 GB at 0 s, 75 GB at 45,000 s,
+/// and two irregular 30 GB phases near 57,000 s and 85,000 s that break
+/// periodicity when the full window is analysed.
+ftio::trace::Heatmap generate_nek5000_heatmap(const NekConfig& config = {});
+
+}  // namespace ftio::workloads

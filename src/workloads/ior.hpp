@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/filesystem.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::workloads {
+
+/// Configuration of an IOR-like benchmark run (the paper's main calibrated
+/// workload: Sec. II-C runs IOR with 9216 ranks, 8 iterations, 2 segments,
+/// 2 MB transfers and 10 MB blocks).
+struct IorConfig {
+  int ranks = 32;
+  std::uint64_t transfer_size = 2 << 20;   ///< bytes per request
+  std::uint64_t block_size = 10 << 20;     ///< bytes per segment per rank
+  int segments = 2;
+  int iterations = 8;
+  /// Compute/communication gap between consecutive I/O phases, seconds.
+  double compute_seconds = 100.0;
+  /// Relative jitter applied to each gap (uniform +-fraction).
+  double compute_jitter = 0.02;
+  /// Initial offset before the first phase (the Fig. 2 trace starts at
+  /// ~65 s into the run).
+  double start_time = 0.0;
+  /// Include a read-back pass after each write phase.
+  bool with_reads = false;
+  ftio::mpisim::FileSystemModel filesystem =
+      ftio::mpisim::FileSystemModel::lichtenberg();
+  std::uint64_t seed = 1;
+};
+
+/// Generates the request trace of an IOR run analytically (virtual time),
+/// which scales to paper-size rank counts without spawning threads. All
+/// ranks write collectively: per-phase concurrency equals `ranks`.
+ftio::trace::Trace generate_ior_trace(const IorConfig& config);
+
+/// Preset reproducing the Sec. II-C example: 9216 ranks on a contended
+/// Lichtenberg-like system, phases of ~11 s every ~111.7 s over ~781 s.
+IorConfig ior_fig2_preset();
+
+}  // namespace ftio::workloads

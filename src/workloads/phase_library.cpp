@@ -1,0 +1,88 @@
+#include "workloads/phase_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftio::workloads {
+
+namespace {
+
+/// Draws a phase duration in [min, max] whose distribution has most mass
+/// near the minimum and an exponential tail (matching contention-induced
+/// slowdowns): min + Exp(mean - min), re-drawn until <= max.
+double draw_duration(ftio::util::Rng& rng, const PhaseLibraryConfig& c) {
+  const double tail_mean = std::max(c.mean_duration - c.min_duration, 1e-3);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double d = c.min_duration + rng.exponential(tail_mean);
+    if (d <= c.max_duration) return d;
+  }
+  return c.max_duration;
+}
+
+}  // namespace
+
+std::vector<PhaseTrace> make_phase_library(const PhaseLibraryConfig& config) {
+  ftio::util::expect(config.processes >= 1, "phase library: processes >= 1");
+  ftio::util::expect(config.request_size > 0, "phase library: request_size > 0");
+  ftio::util::expect(config.min_duration > 0.0 &&
+                         config.max_duration > config.min_duration,
+                     "phase library: bad duration range");
+
+  ftio::util::Rng rng(config.seed);
+  std::vector<PhaseTrace> library;
+  library.reserve(config.phase_count);
+
+  const auto requests_per_process = static_cast<std::size_t>(
+      (config.bytes_per_process + config.request_size - 1) /
+      config.request_size);
+
+  for (std::size_t p = 0; p < config.phase_count; ++p) {
+    PhaseTrace phase;
+    phase.processes = config.processes;
+    phase.duration = draw_duration(rng, config);
+    phase.requests.resize(config.processes);
+
+    for (int k = 0; k < config.processes; ++k) {
+      // Each process streams its requests back to back across the phase;
+      // small per-process speed differences emulate rank imbalance.
+      const double process_duration =
+          k == 0 ? phase.duration
+                 : phase.duration * rng.uniform(0.92, 1.0);
+      const double per_request = process_duration /
+                                 static_cast<double>(requests_per_process);
+      auto& stream = phase.requests[k];
+      stream.reserve(requests_per_process);
+      double t = 0.0;
+      for (std::size_t q = 0; q < requests_per_process; ++q) {
+        stream.push_back({k, t, t + per_request, config.request_size,
+                          ftio::trace::IoKind::kWrite});
+        t += per_request;
+      }
+    }
+    library.push_back(std::move(phase));
+  }
+  return library;
+}
+
+NoiseTrace make_noise_trace(NoiseLevel level, std::uint64_t seed) {
+  NoiseTrace noise;
+  if (level == NoiseLevel::kNone) return noise;
+  ftio::util::Rng rng(seed);
+  const double bandwidth = level == NoiseLevel::kLow ? 500e6 : 1e9;
+  double t = 0.0;
+  for (int period = 0; period < 10; ++period) {
+    const double active = rng.uniform(1.0, 1.2);
+    const double idle = rng.uniform(1.0, 1.2);
+    const auto bytes = static_cast<std::uint64_t>(bandwidth * active);
+    noise.requests.push_back({0, t, t + active, bytes,
+                              ftio::trace::IoKind::kWrite});
+    t += active + idle;
+  }
+  noise.duration = t;
+  return noise;
+}
+
+}  // namespace ftio::workloads

@@ -1,0 +1,79 @@
+#include "workloads/semisynthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ftio::workloads {
+
+double SemiSyntheticApp::detection_error(double detected_period) const {
+  ftio::util::expect(mean_period > 0.0,
+                     "detection_error: app without periods");
+  return std::abs(detected_period - mean_period) / mean_period;
+}
+
+SemiSyntheticApp generate_semisynthetic(
+    const SemiSyntheticConfig& config,
+    const std::vector<PhaseTrace>& library) {
+  ftio::util::expect(!library.empty(), "generate_semisynthetic: empty library");
+  ftio::util::expect(config.iterations >= 2,
+                     "generate_semisynthetic: need >= 2 iterations");
+
+  ftio::util::Rng rng(config.seed);
+  SemiSyntheticApp app;
+  app.trace.app = "semi-synthetic";
+  app.trace.rank_count = library.front().processes;
+
+  double t = 0.0;
+  for (int j = 0; j < config.iterations; ++j) {
+    // Compute phase, then the I/O phase (Sec. III-A's iteration layout).
+    t += rng.truncated_positive_normal(config.tcpu_mean, config.tcpu_sigma);
+
+    const auto& phase = library[rng.pick_index(library.size())];
+    app.phase_starts.push_back(t);
+    for (int k = 0; k < phase.processes; ++k) {
+      // delta_k shifts the whole per-process stream; process 0 keeps
+      // delta_0 = 0 so the phase boundary stays put.
+      const double delta = k == 0 ? 0.0 : rng.exponential(config.phi);
+      for (const auto& r : phase.requests[k]) {
+        app.trace.requests.push_back({k, t + delta + r.start,
+                                      t + delta + r.end, r.bytes, r.kind});
+      }
+    }
+    t += phase.duration;
+  }
+
+  // Background noise: concatenated single-process noise traces covering
+  // the whole run, attached to an extra rank (the noise IOR instance).
+  if (config.noise != NoiseLevel::kNone) {
+    const int noise_rank = app.trace.rank_count;
+    app.trace.rank_count += 1;
+    const double end_time = app.trace.end_time();
+    double nt = 0.0;
+    std::uint64_t n_seed = config.seed * 977 + 13;
+    while (nt < end_time) {
+      const auto noise = make_noise_trace(config.noise, n_seed++);
+      for (const auto& r : noise.requests) {
+        if (nt + r.start >= end_time) break;
+        app.trace.requests.push_back({noise_rank, nt + r.start, nt + r.end,
+                                      r.bytes, r.kind});
+      }
+      nt += noise.duration;
+    }
+  }
+
+  app.trace.sort_by_start();
+
+  // Ground truth T-bar: mean start-to-start gap between I/O phases.
+  double gap_sum = 0.0;
+  for (std::size_t i = 1; i < app.phase_starts.size(); ++i) {
+    gap_sum += app.phase_starts[i] - app.phase_starts[i - 1];
+  }
+  app.mean_period =
+      gap_sum / static_cast<double>(app.phase_starts.size() - 1);
+  return app;
+}
+
+}  // namespace ftio::workloads

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/model.hpp"
+#include "workloads/phase_library.hpp"
+
+namespace ftio::workloads {
+
+/// Parameters of one "semi-synthetic" application trace (Sec. III-A):
+/// J iterations, each a compute phase t_cpu ~ N(mu, sigma) truncated to
+/// positive values followed by a randomly picked library I/O phase whose
+/// per-process streams are shifted by delta_k ~ Exp(phi) (delta_0 = 0).
+struct SemiSyntheticConfig {
+  int iterations = 20;       ///< J ("to be able to induce enough variability")
+  double tcpu_mean = 11.0;   ///< mu, seconds
+  double tcpu_sigma = 0.0;   ///< sigma, seconds
+  double phi = 0.0;          ///< mean of the per-process shift delta_k
+  NoiseLevel noise = NoiseLevel::kNone;
+  std::uint64_t seed = 1;
+};
+
+/// A generated application plus the ground truth only the generator knows
+/// ("T-bar can only be computed using information from the trace
+/// generation, as the boundaries of I/O phases are not typically
+/// available").
+struct SemiSyntheticApp {
+  ftio::trace::Trace trace;
+  std::vector<double> phase_starts;  ///< start of each I/O phase
+  double mean_period = 0.0;          ///< T-bar: mean start-to-start gap
+
+  /// Detection error |T_d - T-bar| / T-bar for a detected period T_d.
+  double detection_error(double detected_period) const;
+};
+
+/// Builds one semi-synthetic application from the phase library.
+SemiSyntheticApp generate_semisynthetic(const SemiSyntheticConfig& config,
+                                        const std::vector<PhaseTrace>& library);
+
+}  // namespace ftio::workloads

@@ -1,0 +1,187 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/model.hpp"
+#include "util/error.hpp"
+
+namespace core = ftio::core;
+namespace tr = ftio::trace;
+
+namespace {
+
+/// Requests of one I/O phase: `ranks` ranks writing for `burst` seconds
+/// starting at `start`.
+std::vector<tr::IoRequest> phase(double start, double burst, int ranks,
+                                 std::uint64_t bytes = 50'000'000) {
+  std::vector<tr::IoRequest> reqs;
+  for (int r = 0; r < ranks; ++r) {
+    reqs.push_back({r, start, start + burst, bytes, tr::IoKind::kWrite});
+  }
+  return reqs;
+}
+
+core::OnlineOptions online_options(core::WindowStrategy strategy =
+                                       core::WindowStrategy::kAdaptive) {
+  core::OnlineOptions o;
+  // fs = 2 Hz keeps the 64-sample minimum window (32 s) below the
+  // 4-period adaptive window (40 s), so the tests exercise the k x period
+  // rule rather than the sample floor.
+  o.base.sampling_frequency = 2.0;
+  o.base.with_metrics = false;
+  o.strategy = strategy;
+  return o;
+}
+
+}  // namespace
+
+TEST(OnlinePredictor, PredictWithoutDataThrows) {
+  core::OnlinePredictor p(online_options());
+  EXPECT_THROW(p.predict(), ftio::util::InvalidArgument);
+}
+
+TEST(OnlinePredictor, ConvergesOnPeriodicStream) {
+  core::OnlinePredictor p(online_options());
+  // HACC-IO-like loop: a phase every 10 s, predictions after each flush.
+  core::Prediction last;
+  for (int i = 0; i < 10; ++i) {
+    p.ingest(phase(i * 10.0, 2.0, 4));
+    last = p.predict();
+  }
+  ASSERT_TRUE(last.found());
+  EXPECT_NEAR(last.period(), 10.0, 1.0);
+  EXPECT_EQ(p.history().size(), 10u);
+}
+
+TEST(OnlinePredictor, AdaptiveWindowShrinksAfterKHits) {
+  auto opts = online_options();
+  opts.adaptive_hits = 3;
+  core::OnlinePredictor p(opts);
+  for (int i = 0; i < 12; ++i) {
+    p.ingest(phase(i * 10.0, 2.0, 4));
+    p.predict();
+  }
+  const auto& h = p.history();
+  // Early predictions see the whole history; late ones only about
+  // adaptive_hits + adaptive_margin = 4 periods.
+  EXPECT_NEAR(h.front().window_start, 0.0, 1e-9);
+  const auto& last = h.back();
+  EXPECT_GT(last.window_start, last.window_end - 4.5 * 10.0);
+  // Shrinking must not have broken detection.
+  ASSERT_TRUE(last.found());
+  EXPECT_NEAR(last.period(), 10.0, 1.0);
+}
+
+TEST(OnlinePredictor, GrowingStrategyKeepsFullWindow) {
+  core::OnlinePredictor p(online_options(core::WindowStrategy::kGrowing));
+  for (int i = 0; i < 8; ++i) {
+    p.ingest(phase(i * 10.0, 2.0, 4));
+    p.predict();
+  }
+  for (const auto& pred : p.history()) {
+    EXPECT_NEAR(pred.window_start, 0.0, 1e-9);
+  }
+}
+
+TEST(OnlinePredictor, FixedLengthWindow) {
+  auto opts = online_options(core::WindowStrategy::kFixedLength);
+  opts.fixed_window = 35.0;
+  core::OnlinePredictor p(opts);
+  for (int i = 0; i < 10; ++i) {
+    p.ingest(phase(i * 10.0, 2.0, 4));
+    p.predict();
+  }
+  const auto& last = p.history().back();
+  EXPECT_NEAR(last.window_end - last.window_start, 35.0, 1.0);
+}
+
+TEST(OnlinePredictor, FixedWindowRequiresPositiveLength) {
+  auto opts = online_options(core::WindowStrategy::kFixedLength);
+  opts.fixed_window = 0.0;
+  EXPECT_THROW(core::OnlinePredictor{opts}, ftio::util::InvalidArgument);
+}
+
+TEST(OnlinePredictor, BehaviourChangeIsTracked) {
+  // Period 10 s for 8 phases, then period 20 s for 8 phases: the adaptive
+  // window must let the predictor relearn the new cadence.
+  auto opts = online_options();
+  opts.adaptive_hits = 3;
+  core::OnlinePredictor p(opts);
+  double t = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    p.ingest(phase(t, 2.0, 4));
+    p.predict();
+    t += 10.0;
+  }
+  core::Prediction last;
+  for (int i = 0; i < 10; ++i) {
+    p.ingest(phase(t, 2.0, 4));
+    last = p.predict();
+    t += 20.0;
+  }
+  ASSERT_TRUE(last.found());
+  EXPECT_NEAR(last.period(), 20.0, 2.5);
+}
+
+TEST(OnlinePredictor, MergedIntervalsSingleCluster) {
+  core::OnlinePredictor p(online_options());
+  for (int i = 0; i < 10; ++i) {
+    p.ingest(phase(i * 10.0, 2.0, 4));
+    p.predict();
+  }
+  const auto intervals = p.merged_intervals();
+  ASSERT_FALSE(intervals.empty());
+  const auto& top = intervals.front();
+  EXPECT_GE(top.probability, 0.5);
+  EXPECT_LE(top.low, 0.1);
+  EXPECT_GE(top.high, 0.095);
+  EXPECT_NEAR(top.center, 0.1, 0.02);
+}
+
+TEST(OnlinePredictor, MergedIntervalsEmptyWithoutDetections) {
+  core::OnlinePredictor p(online_options());
+  // A single instantaneous-noise request cannot produce a detection.
+  std::vector<tr::IoRequest> one{{0, 0.0, 1.0, 10, tr::IoKind::kWrite}};
+  p.ingest(one);
+  p.predict();
+  EXPECT_TRUE(p.merged_intervals().empty());
+}
+
+TEST(OnlinePredictor, ProbabilitiesSumToAtMostOne) {
+  core::OnlinePredictor p(online_options());
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    p.ingest(phase(t, 2.0, 4));
+    p.predict();
+    t += 10.0;
+  }
+  for (int i = 0; i < 6; ++i) {
+    p.ingest(phase(t, 5.0, 4));
+    p.predict();
+    t += 40.0;
+  }
+  double sum = 0.0;
+  for (const auto& iv : p.merged_intervals()) sum += iv.probability;
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(OnlinePredictor, IngestTraceMergesMetadata) {
+  core::OnlinePredictor p(online_options());
+  tr::Trace chunk;
+  chunk.app = "hacc-io";
+  chunk.rank_count = 16;
+  chunk.requests = phase(0.0, 2.0, 16);
+  p.ingest(chunk);
+  EXPECT_EQ(p.trace().app, "hacc-io");
+  EXPECT_EQ(p.trace().rank_count, 16);
+  EXPECT_EQ(p.trace().requests.size(), 16u);
+}
+
+TEST(OnlinePredictor, RanksInferredFromRequests) {
+  core::OnlinePredictor p(online_options());
+  p.ingest(phase(0.0, 1.0, 8));
+  EXPECT_EQ(p.trace().rank_count, 8);
+}

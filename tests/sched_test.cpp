@@ -1,0 +1,260 @@
+#include "sched/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sc = ftio::sched;
+
+namespace {
+
+sc::JobSpec simple_job(const std::string& name, double compute, double volume,
+                       int iterations, double offset = 0.0) {
+  sc::JobSpec j;
+  j.name = name;
+  j.compute_seconds = compute;
+  j.io_volume = volume;
+  j.iterations = iterations;
+  j.start_offset = offset;
+  j.isolation_period = compute + volume / 1e9;
+  return j;
+}
+
+sc::SchedulerConfig fair_config() {
+  sc::SchedulerConfig c;
+  c.policy = sc::Policy::kFairShare;
+  c.fs_bandwidth = 1e9;
+  c.per_job_bandwidth = 1e9;
+  return c;
+}
+
+}  // namespace
+
+TEST(Simulator, SingleJobMatchesIsolation) {
+  const auto jobs = {simple_job("a", 10.0, 1e9, 3)};
+  const auto out = sc::simulate({jobs.begin(), jobs.end()}, fair_config());
+  ASSERT_EQ(out.jobs.size(), 1u);
+  const auto& j = out.jobs[0];
+  // 3 x (10 s compute + 1 s I/O) = 33 s.
+  EXPECT_NEAR(j.runtime, 33.0, 1e-6);
+  EXPECT_NEAR(j.stretch(), 1.0, 1e-6);
+  EXPECT_NEAR(j.io_slowdown(), 1.0, 1e-6);
+  EXPECT_NEAR(out.utilization, 30.0 / 33.0, 1e-6);
+}
+
+TEST(Simulator, TwoSynchronisedJobsShareBandwidth) {
+  // Identical jobs starting together: their I/O phases always collide and
+  // each gets half the bandwidth -> I/O twice as slow.
+  const std::vector<sc::JobSpec> jobs{simple_job("a", 10.0, 1e9, 4),
+                                      simple_job("b", 10.0, 1e9, 4)};
+  const auto out = sc::simulate(jobs, fair_config());
+  for (const auto& j : out.jobs) {
+    EXPECT_NEAR(j.io_slowdown(), 2.0, 0.01);
+    EXPECT_GT(j.stretch(), 1.0);
+  }
+}
+
+TEST(Simulator, OffsetJobsDoNotInterfere) {
+  // Same jobs but phase-shifted so I/O phases never overlap.
+  const std::vector<sc::JobSpec> jobs{simple_job("a", 10.0, 1e9, 3, 0.0),
+                                      simple_job("b", 10.0, 1e9, 3, 5.0)};
+  const auto out = sc::simulate(jobs, fair_config());
+  for (const auto& j : out.jobs) {
+    EXPECT_NEAR(j.io_slowdown(), 1.0, 0.01);
+    EXPECT_NEAR(j.stretch(), 1.0, 0.01);
+  }
+}
+
+TEST(Simulator, PerJobCapLimitsSingleJob) {
+  auto config = fair_config();
+  config.per_job_bandwidth = 0.5e9;  // half the FS peak
+  const auto jobs = {simple_job("a", 10.0, 1e9, 2)};
+  const auto out = sc::simulate({jobs.begin(), jobs.end()}, config);
+  // isolation accounts for the cap too, so stretch stays 1.
+  EXPECT_NEAR(out.jobs[0].stretch(), 1.0, 1e-6);
+  EXPECT_NEAR(out.jobs[0].io_seconds, 2.0 * 2.0, 1e-6);  // 1 GB at 0.5 GB/s
+}
+
+TEST(Simulator, Set10SerialisesSameSetJobs) {
+  // Two identical jobs (same decade): Set-10 gives exclusive access, so
+  // each I/O phase runs at full speed; one job just waits.
+  sc::SchedulerConfig config;
+  config.policy = sc::Policy::kSet10;
+  config.period_source = sc::PeriodSource::kClairvoyant;
+  config.fs_bandwidth = 1e9;
+  config.per_job_bandwidth = 1e9;
+  const std::vector<sc::JobSpec> jobs{simple_job("a", 10.0, 5e9, 4),
+                                      simple_job("b", 10.0, 5e9, 4)};
+  const auto fair = sc::simulate(jobs, fair_config());
+  const auto set10 = sc::simulate(jobs, config);
+  // Under fair sharing both phases crawl at half speed together; under
+  // Set-10 the total I/O time is the same but the first job finishes its
+  // phase at full speed — mean stretch improves (or at least not worse).
+  EXPECT_LE(set10.stretch_geomean, fair.stretch_geomean + 1e-9);
+}
+
+TEST(Simulator, Set10PrioritisesHighFrequencySet) {
+  // One fast-period job (decade 1) vs one slow-period job (decade 2):
+  // the fast job's set has 10x the weight, so colliding I/O slows the
+  // fast job far less than fair sharing would.
+  sc::SchedulerConfig set10;
+  set10.policy = sc::Policy::kSet10;
+  set10.period_source = sc::PeriodSource::kClairvoyant;
+  set10.fs_bandwidth = 1e9;
+  set10.per_job_bandwidth = 1e9;
+
+  std::vector<sc::JobSpec> jobs;
+  jobs.push_back(simple_job("fast", 18.0, 1.2e9, 20));   // period ~19.2
+  jobs.push_back(simple_job("slow", 360.0, 24e9, 1));    // period ~384
+  const auto fair = sc::simulate(jobs, fair_config());
+  const auto prio = sc::simulate(jobs, set10);
+
+  double fair_fast = 0.0, prio_fast = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (fair.jobs[i].name == "fast") fair_fast = fair.jobs[i].io_slowdown();
+    if (prio.jobs[i].name == "fast") prio_fast = prio.jobs[i].io_slowdown();
+  }
+  EXPECT_LT(prio_fast, fair_fast);
+}
+
+TEST(Simulator, FtioSourceLearnsPeriods) {
+  sc::SchedulerConfig config;
+  config.policy = sc::Policy::kSet10;
+  config.period_source = sc::PeriodSource::kFtio;
+  config.fs_bandwidth = 1e9;
+  config.per_job_bandwidth = 1e9;
+  config.ftio.sampling_frequency = 1.0;
+  config.ftio.with_metrics = false;
+  config.ftio.with_autocorrelation = false;
+
+  std::vector<sc::JobSpec> jobs{simple_job("a", 18.0, 1.2e9, 30),
+                                simple_job("b", 60.0, 4e9, 9, 7.0)};
+  const auto out = sc::simulate(jobs, config);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  for (const auto& j : out.jobs) {
+    EXPECT_GT(j.runtime, 0.0);
+    EXPECT_GE(j.stretch(), 1.0 - 1e-9);
+  }
+}
+
+TEST(Simulator, MetricsAggregation) {
+  const std::vector<sc::JobSpec> jobs{simple_job("a", 10.0, 1e9, 2),
+                                      simple_job("b", 10.0, 1e9, 2, 100.0)};
+  const auto out = sc::simulate(jobs, fair_config());
+  EXPECT_NEAR(out.stretch_geomean, 1.0, 0.01);
+  EXPECT_NEAR(out.io_slowdown_geomean, 1.0, 0.01);
+  EXPECT_GT(out.makespan, 100.0);
+  EXPECT_GT(out.utilization, 0.5);
+  EXPECT_LT(out.utilization, 1.0);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  EXPECT_THROW(sc::simulate({}, fair_config()), ftio::util::InvalidArgument);
+  sc::SchedulerConfig c;
+  c.policy = sc::Policy::kSet10;
+  c.period_source = sc::PeriodSource::kNone;
+  EXPECT_THROW(sc::simulate({simple_job("a", 1.0, 1.0, 1)}, c),
+               ftio::util::InvalidArgument);
+  c = fair_config();
+  c.fs_bandwidth = 0.0;
+  EXPECT_THROW(sc::simulate({simple_job("a", 1.0, 1.0, 1)}, c),
+               ftio::util::InvalidArgument);
+}
+
+TEST(Workload, Set10WorkloadShape) {
+  const auto jobs = sc::make_set10_workload(10e9, 1);
+  ASSERT_EQ(jobs.size(), 16u);
+  int high = 0, low = 0;
+  for (const auto& j : jobs) {
+    if (j.isolation_period < 100.0) {
+      ++high;
+      EXPECT_NEAR(j.isolation_period, 19.2, 1e-9);
+      // I/O fraction 6.25% at full bandwidth.
+      EXPECT_NEAR(j.io_volume / 10e9, 1.2, 1e-6);
+    } else {
+      ++low;
+      EXPECT_NEAR(j.isolation_period, 384.0, 1e-9);
+      EXPECT_NEAR(j.io_volume / 10e9, 24.0, 1e-6);
+    }
+  }
+  EXPECT_EQ(high, 1);
+  EXPECT_EQ(low, 15);
+}
+
+TEST(Workload, SeedsChangeOffsets) {
+  const auto a = sc::make_set10_workload(10e9, 1);
+  const auto b = sc::make_set10_workload(10e9, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].start_offset != b[i].start_offset;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EndToEnd, Set10BeatsOriginalOnPaperWorkload) {
+  // The Fig. 17 headline: Set-10 + clairvoyant beats the unmodified
+  // system on I/O slowdown and utilization.
+  const auto jobs = sc::make_set10_workload(10e9, 3);
+
+  sc::SchedulerConfig original;
+  original.policy = sc::Policy::kFairShare;
+  original.fs_bandwidth = 10e9;
+  original.per_job_bandwidth = 10e9;
+
+  sc::SchedulerConfig set10 = original;
+  set10.policy = sc::Policy::kSet10;
+  set10.period_source = sc::PeriodSource::kClairvoyant;
+
+  const auto base = sc::simulate(jobs, original);
+  const auto opt = sc::simulate(jobs, set10);
+  EXPECT_LT(opt.io_slowdown_geomean, base.io_slowdown_geomean);
+  EXPECT_GE(opt.utilization, base.utilization - 1e-9);
+}
+
+TEST(Simulator, ExclusiveFcfsSerialisesGlobally) {
+  // Two colliding jobs under exclusive access: each phase runs at full
+  // speed, the later arrival waits — total I/O time equals fair sharing
+  // but the first job's phase is never slowed.
+  sc::SchedulerConfig config;
+  config.policy = sc::Policy::kExclusiveFcfs;
+  config.fs_bandwidth = 1e9;
+  config.per_job_bandwidth = 1e9;
+  const std::vector<sc::JobSpec> jobs{simple_job("a", 10.0, 5e9, 4),
+                                      simple_job("b", 10.0, 5e9, 4)};
+  const auto out = sc::simulate(jobs, config);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  for (const auto& j : out.jobs) {
+    EXPECT_GE(j.io_slowdown(), 1.0 - 1e-9);
+  }
+  // Exclusive access is no worse than fair sharing on mean stretch here.
+  const auto fair = sc::simulate(jobs, fair_config());
+  EXPECT_LE(out.stretch_geomean, fair.stretch_geomean + 1e-9);
+}
+
+TEST(Simulator, ExclusiveFcfsCanStarveHighFrequencyJobs) {
+  // A fast-cadence job queues behind a long low-frequency phase: its I/O
+  // slowdown under global exclusion exceeds Set-10's, which gives the
+  // fast set priority instead.
+  sc::SchedulerConfig exclusive;
+  exclusive.policy = sc::Policy::kExclusiveFcfs;
+  exclusive.fs_bandwidth = 1e9;
+  exclusive.per_job_bandwidth = 1e9;
+
+  sc::SchedulerConfig set10 = exclusive;
+  set10.policy = sc::Policy::kSet10;
+  set10.period_source = sc::PeriodSource::kClairvoyant;
+
+  std::vector<sc::JobSpec> jobs;
+  jobs.push_back(simple_job("fast", 18.0, 1.2e9, 20));       // decade 1
+  jobs.push_back(simple_job("slow", 45.0, 60e9, 3, 1.0));    // decade 2
+  const auto ex = sc::simulate(jobs, exclusive);
+  const auto st = sc::simulate(jobs, set10);
+  double ex_fast = 0.0, st_fast = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (ex.jobs[i].name == "fast") ex_fast = ex.jobs[i].io_slowdown();
+    if (st.jobs[i].name == "fast") st_fast = st.jobs[i].io_slowdown();
+  }
+  EXPECT_GT(ex_fast, st_fast);
+}

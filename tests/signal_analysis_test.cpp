@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "signal/autocorrelation.hpp"
+#include "signal/peaks.hpp"
+#include "signal/spectrum.hpp"
+#include "signal/step_function.hpp"
+#include "util/error.hpp"
+
+namespace sig = ftio::signal;
+
+namespace {
+
+/// Sampled cosine at frequency `f` Hz, amplitude 1, over `seconds` at `fs`.
+std::vector<double> cosine(double f, double fs, double seconds,
+                           double offset = 0.0) {
+  const auto n = static_cast<std::size_t>(seconds * fs);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = offset + std::cos(2.0 * std::numbers::pi * f * t);
+  }
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Spectrum
+// ---------------------------------------------------------------------------
+
+TEST(Spectrum, FrequencyAxisFollowsFsOverN) {
+  const auto x = cosine(1.0, 8.0, 4.0);  // N = 32
+  const auto s = sig::compute_spectrum(x, 8.0);
+  ASSERT_EQ(s.frequencies.size(), 17u);  // N/2 + 1
+  EXPECT_DOUBLE_EQ(s.frequencies[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.frequencies[1], 0.25);  // fs/N = 8/32
+  EXPECT_DOUBLE_EQ(s.frequencies.back(), 4.0);
+  EXPECT_DOUBLE_EQ(s.frequency_step(), 0.25);
+  EXPECT_EQ(s.inspected_bins(), 16u);
+}
+
+TEST(Spectrum, PureToneDominatesItsBin) {
+  // 0.5 Hz tone sampled at 8 Hz for 32 s -> bin 16 of 256 samples.
+  const auto x = cosine(0.5, 8.0, 32.0, 2.0);
+  const auto s = sig::compute_spectrum(x, 8.0);
+  std::size_t best = 1;
+  for (std::size_t k = 2; k < s.power.size(); ++k) {
+    if (s.power[k] > s.power[best]) best = k;
+  }
+  EXPECT_NEAR(s.frequencies[best], 0.5, 1e-9);
+}
+
+TEST(Spectrum, DcBinCapturesOffset) {
+  std::vector<double> x(64, 3.0);
+  const auto s = sig::compute_spectrum(x, 1.0);
+  EXPECT_NEAR(s.amplitudes[0], 3.0 * 64.0, 1e-9);
+  for (std::size_t k = 1; k < s.amplitudes.size(); ++k) {
+    EXPECT_NEAR(s.amplitudes[k], 0.0, 1e-9);
+  }
+}
+
+TEST(Spectrum, NormedPowerSumsToOne) {
+  const auto x = cosine(0.25, 4.0, 64.0, 1.0);
+  const auto s = sig::compute_spectrum(x, 4.0);
+  double total = 0.0;
+  for (double p : s.normed_power) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Spectrum, PowerIsAmplitudeSquaredOverN) {
+  const auto x = cosine(0.25, 4.0, 16.0, 1.0);
+  const auto s = sig::compute_spectrum(x, 4.0);
+  for (std::size_t k = 0; k < s.power.size(); ++k) {
+    EXPECT_NEAR(s.power[k],
+                s.amplitudes[k] * s.amplitudes[k] / static_cast<double>(x.size()),
+                1e-9);
+  }
+}
+
+TEST(Spectrum, RejectsBadArguments) {
+  EXPECT_THROW(sig::compute_spectrum(std::vector<double>{}, 1.0),
+               ftio::util::InvalidArgument);
+  EXPECT_THROW(sig::compute_spectrum(std::vector<double>{1.0}, 0.0),
+               ftio::util::InvalidArgument);
+}
+
+TEST(Spectrum, ReconstructionMatchesEq1) {
+  // Sum of all single-sided waves must reproduce the original signal.
+  const double fs = 4.0;
+  std::vector<double> x = cosine(0.5, fs, 8.0, 5.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.4 * std::cos(2.0 * std::numbers::pi * 1.0 *
+                           (static_cast<double>(i) / fs));
+  }
+  const auto s = sig::compute_spectrum(x, fs);
+  std::vector<sig::CosineWave> waves;
+  for (std::size_t k = 1; k < s.frequencies.size(); ++k) {
+    waves.push_back(sig::wave_for_bin(s, k));
+  }
+  const double dc = sig::wave_for_bin(s, 0).amplitude *
+                    std::cos(sig::wave_for_bin(s, 0).phase);
+  const auto rebuilt = sig::synthesize(waves, dc, fs, x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(rebuilt[i], x[i], 1e-6) << "sample " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StepFunction
+// ---------------------------------------------------------------------------
+
+TEST(StepFunction, ValueLookup) {
+  sig::StepFunction f({0.0, 1.0, 3.0}, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(f.value_at(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(f.value_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.value_at(0.999), 2.0);
+  EXPECT_DOUBLE_EQ(f.value_at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value_at(2.5), 5.0);
+  EXPECT_DOUBLE_EQ(f.value_at(3.0), 0.0);  // right-open support
+}
+
+TEST(StepFunction, IntegralExact) {
+  sig::StepFunction f({0.0, 1.0, 3.0}, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(f.total_integral(), 2.0 + 10.0);
+  EXPECT_DOUBLE_EQ(f.integral(0.5, 2.0), 1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(f.integral(-5.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.integral(2.0, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.integral(2.0, 2.0), 0.0);
+}
+
+TEST(StepFunction, ValidatesConstruction) {
+  EXPECT_THROW(sig::StepFunction({0.0, 1.0}, {1.0, 2.0}),
+               ftio::util::InvalidArgument);
+  EXPECT_THROW(sig::StepFunction({1.0, 1.0}, {2.0}),
+               ftio::util::InvalidArgument);
+  EXPECT_THROW(sig::StepFunction({2.0, 1.0}, {2.0}),
+               ftio::util::InvalidArgument);
+}
+
+TEST(StepFunction, EmptyBehaviour) {
+  sig::StepFunction f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.value_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.total_integral(), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 0.0);
+}
+
+TEST(StepFunction, MaxValue) {
+  sig::StepFunction f({0.0, 1.0, 2.0, 3.0}, {1.0, 9.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.max_value(), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Discretisation
+// ---------------------------------------------------------------------------
+
+TEST(Discretize, PointSamplingMatchesDefinition) {
+  sig::StepFunction f({0.0, 1.0, 2.0}, {4.0, 8.0});
+  const auto d = sig::discretize(f, 2.0);
+  // Samples at t = 0, 0.5, 1.0, 1.5.
+  ASSERT_EQ(d.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.samples[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.samples[1], 4.0);
+  EXPECT_DOUBLE_EQ(d.samples[2], 8.0);
+  EXPECT_DOUBLE_EQ(d.samples[3], 8.0);
+  EXPECT_NEAR(d.abstraction_error, 0.0, 1e-12);
+}
+
+TEST(Discretize, BinAverageIntegratesBins) {
+  sig::StepFunction f({0.0, 0.5, 1.0}, {2.0, 6.0});
+  const auto d = sig::discretize(f, 1.0, sig::SamplingMode::kBinAverage);
+  ASSERT_EQ(d.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.samples[0], 4.0);
+}
+
+TEST(Discretize, UnderSamplingInflatesAbstractionError) {
+  // A 1 ms burst of 1000 units: sampling at 1 Hz either misses it entirely
+  // or wildly overestimates the volume -> abstraction error near 1 or huge.
+  sig::StepFunction f({0.0, 0.001, 10.0}, {1000.0, 0.0});
+  const auto coarse = sig::discretize(f, 1.0);
+  EXPECT_GT(coarse.abstraction_error, 0.5);
+  // Sampling well above the burst rate recovers the volume.
+  const auto fine = sig::discretize(f, 10000.0);
+  EXPECT_LT(fine.abstraction_error, 0.05);
+}
+
+TEST(Discretize, SampleCountIsCeilOfDurationTimesFs) {
+  sig::StepFunction f({0.0, 2.5}, {1.0});
+  EXPECT_EQ(sig::discretize(f, 2.0).samples.size(), 5u);
+  EXPECT_EQ(sig::discretize(f, 1.0).samples.size(), 3u);  // ceil(2.5)
+}
+
+TEST(Discretize, NonZeroStartTimeHandled) {
+  sig::StepFunction f({10.0, 11.0, 12.0}, {3.0, 7.0});
+  const auto d = sig::discretize(f, 1.0);
+  ASSERT_EQ(d.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.start_time, 10.0);
+  EXPECT_DOUBLE_EQ(d.samples[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.samples[1], 7.0);
+}
+
+TEST(Discretize, RejectsBadArguments) {
+  sig::StepFunction f({0.0, 1.0}, {1.0});
+  EXPECT_THROW(sig::discretize(f, 0.0), ftio::util::InvalidArgument);
+  EXPECT_THROW(sig::discretize(sig::StepFunction{}, 1.0),
+               ftio::util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Autocorrelation
+// ---------------------------------------------------------------------------
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto x = cosine(0.5, 8.0, 16.0, 1.0);
+  const auto acf = sig::autocorrelation(x);
+  EXPECT_NEAR(acf[0], 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, ValuesBoundedByOne) {
+  const auto x = cosine(0.3, 4.0, 50.0, 2.0);
+  for (double v : sig::autocorrelation(x)) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  // 0.25 Hz tone at fs = 8 Hz -> period of 32 samples.
+  const auto x = cosine(0.25, 8.0, 64.0);
+  const auto acf = sig::autocorrelation(x);
+  const auto peaks = sig::find_peaks(acf, {.min_height = 0.5});
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(static_cast<double>(peaks.front().index), 32.0, 1.0);
+}
+
+TEST(Autocorrelation, CenteredVariantRemovesDc) {
+  std::vector<double> x(128, 5.0);  // constant signal
+  const auto raw = sig::autocorrelation(x);
+  // Raw ACF of a constant stays ~1 at every lag0-normalised shifted overlap.
+  EXPECT_GT(raw[10], 0.8);
+  const auto centered = sig::autocorrelation_centered(x);
+  EXPECT_NEAR(centered[10], 0.0, 1e-9);
+}
+
+TEST(Autocorrelation, EmptyThrows) {
+  EXPECT_THROW(sig::autocorrelation(std::vector<double>{}),
+               ftio::util::InvalidArgument);
+}
+
+TEST(Autocorrelation, MatchesDirectComputation) {
+  const auto x = cosine(0.4, 4.0, 10.0, 0.5);
+  const auto fast = sig::autocorrelation(x);
+  // Direct O(N^2) reference.
+  const std::size_t n = x.size();
+  std::vector<double> direct(n, 0.0);
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    for (std::size_t i = 0; i + lag < n; ++i) direct[lag] += x[i] * x[i + lag];
+  }
+  for (std::size_t lag = 1; lag < n; ++lag) direct[lag] /= direct[0];
+  direct[0] = 1.0;
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    EXPECT_NEAR(fast[lag], direct[lag], 1e-9) << "lag " << lag;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// find_peaks
+// ---------------------------------------------------------------------------
+
+TEST(FindPeaks, DetectsSimpleMaxima) {
+  const std::vector<double> v{0, 1, 0, 2, 0, 3, 0};
+  const auto peaks = sig::find_peaks(v);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 3u);
+  EXPECT_EQ(peaks[2].index, 5u);
+}
+
+TEST(FindPeaks, EndpointsAreNotPeaks) {
+  const std::vector<double> v{5, 1, 0, 1, 9};
+  const auto peaks = sig::find_peaks(v);
+  EXPECT_TRUE(peaks.empty());
+}
+
+TEST(FindPeaks, PlateauReportsMiddle) {
+  const std::vector<double> v{0, 1, 2, 2, 2, 1, 0};
+  const auto peaks = sig::find_peaks(v);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(FindPeaks, HeightFilter) {
+  const std::vector<double> v{0, 1, 0, 5, 0};
+  const auto peaks = sig::find_peaks(v, {.min_height = 2.0});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(FindPeaks, ThresholdFilter) {
+  // Peak at 3 rises only 0.5 above its neighbours.
+  const std::vector<double> v{0, 2.0, 1.5, 2.0, 0, 5, 0};
+  const auto peaks = sig::find_peaks(v, {.min_threshold = 1.0});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 5u);
+}
+
+TEST(FindPeaks, DistanceFilterKeepsHighest) {
+  // Peaks at 1 (h=3), 3 (h=5), 5 (h=4); distance 3 removes both neighbours
+  // of the tallest peak (gaps of 2 samples).
+  const std::vector<double> v{0, 3, 0, 5, 0, 4, 0};
+  const auto peaks = sig::find_peaks(v, {.min_distance = 3});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(FindPeaks, DistanceFilterKeepsFarApartPeaks) {
+  const std::vector<double> v{0, 3, 0, 0, 0, 4, 0};
+  const auto peaks = sig::find_peaks(v, {.min_distance = 3});
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 5u);
+}
+
+TEST(FindPeaks, ProminenceComputedAgainstHigherGround) {
+  // Small bump on the flank of a big peak has low prominence.
+  const std::vector<double> v{0, 10, 4, 5, 4, 0};
+  const auto peaks = sig::find_peaks(v);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].prominence, 10.0);
+  EXPECT_DOUBLE_EQ(peaks[1].prominence, 1.0);
+  const auto prominent = sig::find_peaks(v, {.min_prominence = 2.0});
+  ASSERT_EQ(prominent.size(), 1u);
+  EXPECT_EQ(prominent[0].index, 1u);
+}
+
+TEST(FindPeaks, ShortInputHasNoPeaks) {
+  EXPECT_TRUE(sig::find_peaks(std::vector<double>{1.0, 2.0}).empty());
+  EXPECT_TRUE(sig::find_peaks(std::vector<double>{}).empty());
+}

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "trace/formats.hpp"
+#include "trace/model.hpp"
+#include "util/error.hpp"
+
+namespace tr = ftio::trace;
+
+namespace {
+
+/// Two ranks writing 100 MB each over [0, 1] and [0.5, 1.5].
+tr::Trace overlap_trace() {
+  tr::Trace t;
+  t.app = "test";
+  t.rank_count = 2;
+  t.requests.push_back({0, 0.0, 1.0, 100'000'000, tr::IoKind::kWrite});
+  t.requests.push_back({1, 0.5, 1.5, 100'000'000, tr::IoKind::kWrite});
+  return t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Model basics
+// ---------------------------------------------------------------------------
+
+TEST(TraceModel, TimesAndVolume) {
+  const auto t = overlap_trace();
+  EXPECT_DOUBLE_EQ(t.begin_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 1.5);
+  EXPECT_DOUBLE_EQ(t.duration(), 1.5);
+  EXPECT_EQ(t.total_bytes(), 200'000'000u);
+}
+
+TEST(TraceModel, EmptyTrace) {
+  tr::Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_TRUE(tr::bandwidth_signal(t).empty());
+}
+
+TEST(TraceModel, FilterByKind) {
+  auto t = overlap_trace();
+  t.requests.push_back({0, 2.0, 3.0, 5'000, tr::IoKind::kRead});
+  EXPECT_EQ(t.filtered(tr::IoKind::kRead).requests.size(), 1u);
+  EXPECT_EQ(t.filtered(tr::IoKind::kWrite).requests.size(), 2u);
+  EXPECT_EQ(t.total_bytes(tr::IoKind::kRead), 5'000u);
+}
+
+TEST(TraceModel, RequestBandwidth) {
+  const tr::IoRequest r{0, 1.0, 3.0, 2'000'000, tr::IoKind::kWrite};
+  EXPECT_DOUBLE_EQ(r.bandwidth(), 1'000'000.0);
+  const tr::IoRequest zero{0, 1.0, 1.0, 10, tr::IoKind::kWrite};
+  EXPECT_DOUBLE_EQ(zero.bandwidth(), 0.0);
+}
+
+TEST(TraceModel, WindowClipsAndScalesBytes) {
+  const auto t = overlap_trace();
+  const auto w = t.window(0.75, 1.25);
+  ASSERT_EQ(w.requests.size(), 2u);
+  // Rank 0's request [0,1] clipped to [0.75,1]: quarter of the bytes.
+  EXPECT_DOUBLE_EQ(w.requests[0].start, 0.75);
+  EXPECT_DOUBLE_EQ(w.requests[0].end, 1.0);
+  EXPECT_EQ(w.requests[0].bytes, 25'000'000u);
+}
+
+TEST(TraceModel, WindowRejectsEmptyRange) {
+  EXPECT_THROW(overlap_trace().window(1.0, 1.0), ftio::util::InvalidArgument);
+}
+
+TEST(TraceModel, SortByStart) {
+  tr::Trace t;
+  t.requests.push_back({1, 5.0, 6.0, 1, tr::IoKind::kWrite});
+  t.requests.push_back({0, 1.0, 2.0, 1, tr::IoKind::kWrite});
+  t.sort_by_start();
+  EXPECT_DOUBLE_EQ(t.requests.front().start, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth sweep
+// ---------------------------------------------------------------------------
+
+TEST(Bandwidth, OverlappingRequestsAdd) {
+  const auto f = tr::bandwidth_signal(overlap_trace());
+  // Each request runs at 100 MB/s; the overlap [0.5, 1.0] carries 200 MB/s.
+  EXPECT_DOUBLE_EQ(f.value_at(0.25), 1e8);
+  EXPECT_DOUBLE_EQ(f.value_at(0.75), 2e8);
+  EXPECT_DOUBLE_EQ(f.value_at(1.25), 1e8);
+  EXPECT_DOUBLE_EQ(f.value_at(2.0), 0.0);
+}
+
+TEST(Bandwidth, VolumeIsConserved) {
+  const auto t = overlap_trace();
+  const auto f = tr::bandwidth_signal(t);
+  EXPECT_NEAR(f.total_integral(), static_cast<double>(t.total_bytes()), 1.0);
+}
+
+TEST(Bandwidth, GapsHaveZeroBandwidth) {
+  tr::Trace t;
+  t.requests.push_back({0, 0.0, 1.0, 1'000'000, tr::IoKind::kWrite});
+  t.requests.push_back({0, 3.0, 4.0, 1'000'000, tr::IoKind::kWrite});
+  const auto f = tr::bandwidth_signal(t);
+  EXPECT_DOUBLE_EQ(f.value_at(2.0), 0.0);
+  EXPECT_GT(f.value_at(0.5), 0.0);
+  EXPECT_GT(f.value_at(3.5), 0.0);
+}
+
+TEST(Bandwidth, KindFilterSelectsDirection) {
+  tr::Trace t;
+  t.requests.push_back({0, 0.0, 1.0, 1'000'000, tr::IoKind::kWrite});
+  t.requests.push_back({0, 0.0, 1.0, 9'000'000, tr::IoKind::kRead});
+  const auto writes = tr::bandwidth_signal(t, {.kind = tr::IoKind::kWrite});
+  EXPECT_DOUBLE_EQ(writes.value_at(0.5), 1e6);
+  const auto reads = tr::bandwidth_signal(t, {.kind = tr::IoKind::kRead});
+  EXPECT_DOUBLE_EQ(reads.value_at(0.5), 9e6);
+}
+
+TEST(Bandwidth, WindowRestrictsSignal) {
+  const auto t = overlap_trace();
+  tr::BandwidthOptions opts;
+  opts.window_start = 0.5;
+  opts.window_end = 1.0;
+  const auto f = tr::bandwidth_signal(t, opts);
+  EXPECT_DOUBLE_EQ(f.start_time(), 0.5);
+  EXPECT_DOUBLE_EQ(f.end_time(), 1.0);
+  EXPECT_DOUBLE_EQ(f.value_at(0.75), 2e8);
+}
+
+TEST(Bandwidth, PerRankSignal) {
+  const auto t = overlap_trace();
+  const auto r0 = tr::rank_bandwidth_signal(t, 0);
+  EXPECT_DOUBLE_EQ(r0.value_at(0.25), 1e8);
+  EXPECT_DOUBLE_EQ(r0.value_at(1.25), 0.0);
+  const auto r1 = tr::rank_bandwidth_signal(t, 1);
+  EXPECT_DOUBLE_EQ(r1.value_at(1.25), 1e8);
+}
+
+TEST(Bandwidth, ZeroDurationRequestsIgnoredInSweep) {
+  tr::Trace t;
+  t.requests.push_back({0, 1.0, 1.0, 500, tr::IoKind::kWrite});
+  EXPECT_TRUE(tr::bandwidth_signal(t).empty());
+}
+
+TEST(Bandwidth, ManyIdenticalRequestsScaleLinearly) {
+  tr::Trace t;
+  for (int r = 0; r < 32; ++r) {
+    t.requests.push_back({r, 0.0, 2.0, 1'000'000, tr::IoKind::kWrite});
+  }
+  const auto f = tr::bandwidth_signal(t);
+  EXPECT_NEAR(f.value_at(1.0), 32.0 * 500'000.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round trip
+// ---------------------------------------------------------------------------
+
+TEST(Jsonl, RoundTripPreservesRequests) {
+  const auto t = overlap_trace();
+  const auto text = tr::to_jsonl(t);
+  const auto back = tr::from_jsonl(text);
+  EXPECT_EQ(back.app, "test");
+  EXPECT_EQ(back.rank_count, 2);
+  ASSERT_EQ(back.requests.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.requests[1].start, 0.5);
+  EXPECT_EQ(back.requests[1].bytes, 100'000'000u);
+  EXPECT_EQ(back.requests[1].kind, tr::IoKind::kWrite);
+}
+
+TEST(Jsonl, SkipsUnknownRecordTypes) {
+  const std::string text =
+      "{\"type\":\"meta\",\"app\":\"x\",\"ranks\":1}\n"
+      "{\"type\":\"flush\",\"time\":3.5}\n"
+      "{\"type\":\"io\",\"kind\":\"read\",\"rank\":0,\"start\":1.0,\"end\":2.0,\"bytes\":10}\n";
+  const auto t = tr::from_jsonl(text);
+  ASSERT_EQ(t.requests.size(), 1u);
+  EXPECT_EQ(t.requests[0].kind, tr::IoKind::kRead);
+}
+
+TEST(Jsonl, RejectsCorruptRecords) {
+  EXPECT_THROW(tr::from_jsonl("{\"no_type\":1}\n"), ftio::util::ParseError);
+  EXPECT_THROW(
+      tr::from_jsonl("{\"type\":\"io\",\"kind\":\"write\",\"rank\":0,"
+                     "\"start\":2.0,\"end\":1.0,\"bytes\":1}\n"),
+      ftio::util::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// MessagePack round trip
+// ---------------------------------------------------------------------------
+
+TEST(MsgpackTrace, RoundTrip) {
+  auto t = overlap_trace();
+  t.requests.push_back({1, 3.0, 4.5, 42, tr::IoKind::kRead});
+  const auto bytes = tr::to_msgpack(t);
+  const auto back = tr::from_msgpack(bytes);
+  ASSERT_EQ(back.requests.size(), 3u);
+  EXPECT_EQ(back.app, t.app);
+  EXPECT_EQ(back.requests[2].kind, tr::IoKind::kRead);
+  EXPECT_DOUBLE_EQ(back.requests[2].end, 4.5);
+}
+
+TEST(MsgpackTrace, SmallerThanJsonl) {
+  tr::Trace t;
+  t.app = "compact";
+  t.rank_count = 8;
+  for (int i = 0; i < 100; ++i) {
+    t.requests.push_back({i % 8, i * 1.0, i * 1.0 + 0.5,
+                          static_cast<std::uint64_t>(1024 * i),
+                          tr::IoKind::kWrite});
+  }
+  EXPECT_LT(tr::to_msgpack(t).size(), tr::to_jsonl(t).size());
+}
+
+// ---------------------------------------------------------------------------
+// Recorder CSV
+// ---------------------------------------------------------------------------
+
+TEST(RecorderCsv, RoundTrip) {
+  const auto t = overlap_trace();
+  const auto csv = tr::to_recorder_csv(t);
+  const auto back = tr::from_recorder_csv(csv);
+  ASSERT_EQ(back.requests.size(), 2u);
+  EXPECT_EQ(back.rank_count, 2);
+  EXPECT_DOUBLE_EQ(back.requests[1].end, 1.5);
+}
+
+TEST(RecorderCsv, ParsesHandWrittenFile) {
+  const std::string csv =
+      "rank,start,end,bytes,op\n"
+      "0,0.0,1.0,1048576,write\n"
+      "1,0.25,0.75,2097152,read\n";
+  const auto t = tr::from_recorder_csv(csv);
+  ASSERT_EQ(t.requests.size(), 2u);
+  EXPECT_EQ(t.requests[1].kind, tr::IoKind::kRead);
+  EXPECT_EQ(t.requests[1].bytes, 2097152u);
+}
+
+TEST(RecorderCsv, RejectsInvalidNumbers) {
+  EXPECT_THROW(tr::from_recorder_csv("rank,start,end,bytes,op\n0,abc,1,1,write\n"),
+               ftio::util::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Darshan-like heatmap
+// ---------------------------------------------------------------------------
+
+TEST(Heatmap, FromTraceBinsBytes) {
+  tr::Trace t;
+  t.app = "hm";
+  // 10 MB written uniformly over [0, 2): 5 MB per 1 s bin.
+  t.requests.push_back({0, 0.0, 2.0, 10'000'000, tr::IoKind::kWrite});
+  const auto h = tr::heatmap_from_trace(t, 1.0);
+  ASSERT_EQ(h.bytes_per_bin.size(), 2u);
+  EXPECT_NEAR(h.bytes_per_bin[0], 5e6, 1.0);
+  EXPECT_NEAR(h.bytes_per_bin[1], 5e6, 1.0);
+  EXPECT_DOUBLE_EQ(h.implied_sampling_frequency(), 1.0);
+}
+
+TEST(Heatmap, VolumeConserved) {
+  const auto t = overlap_trace();
+  const auto h = tr::heatmap_from_trace(t, 0.25);
+  double total = 0.0;
+  for (double b : h.bytes_per_bin) total += b;
+  EXPECT_NEAR(total, static_cast<double>(t.total_bytes()), 1.0);
+}
+
+TEST(Heatmap, BandwidthCurveFromBins) {
+  tr::Heatmap h;
+  h.bin_width = 2.0;
+  h.bytes_per_bin = {4e6, 0.0, 8e6};
+  const auto f = h.bandwidth();
+  EXPECT_DOUBLE_EQ(f.value_at(1.0), 2e6);
+  EXPECT_DOUBLE_EQ(f.value_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value_at(5.0), 4e6);
+  EXPECT_DOUBLE_EQ(f.duration(), 6.0);
+}
+
+TEST(Heatmap, CsvRoundTrip) {
+  tr::Heatmap h;
+  h.app = "nek5000";
+  h.start_time = 10.0;
+  h.bin_width = 160.0;
+  h.bytes_per_bin = {1e9, 0.0, 3.5e9, 2e8};
+  const auto csv = tr::to_heatmap_csv(h);
+  const auto back = tr::from_heatmap_csv(csv);
+  EXPECT_EQ(back.app, "nek5000");
+  EXPECT_DOUBLE_EQ(back.start_time, 10.0);
+  EXPECT_NEAR(back.bin_width, 160.0, 1e-9);
+  ASSERT_EQ(back.bytes_per_bin.size(), 4u);
+  EXPECT_DOUBLE_EQ(back.bytes_per_bin[2], 3.5e9);
+}
+
+TEST(Heatmap, InstantaneousRequestLandsInBin) {
+  tr::Trace t;
+  t.requests.push_back({0, 0.0, 4.0, 0, tr::IoKind::kWrite});  // span trace
+  t.requests.push_back({0, 2.5, 2.5, 777, tr::IoKind::kWrite});
+  const auto h = tr::heatmap_from_trace(t, 1.0);
+  EXPECT_DOUBLE_EQ(h.bytes_per_bin[2], 777.0);
+}
+
+TEST(Heatmap, RejectsBadBinWidth) {
+  EXPECT_THROW(tr::heatmap_from_trace(tr::Trace{}, 0.0),
+               ftio::util::InvalidArgument);
+}

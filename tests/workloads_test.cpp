@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/ftio.hpp"
+#include "trace/model.hpp"
+#include "util/error.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/phase_library.hpp"
+#include "workloads/semisynthetic.hpp"
+
+namespace wl = ftio::workloads;
+namespace tr = ftio::trace;
+namespace core = ftio::core;
+
+// ---------------------------------------------------------------------------
+// IOR generator
+// ---------------------------------------------------------------------------
+
+TEST(Ior, RequestAccounting) {
+  wl::IorConfig c;
+  c.ranks = 4;
+  c.iterations = 3;
+  c.segments = 2;
+  c.transfer_size = 1 << 20;
+  c.block_size = 5 << 20;
+  const auto t = wl::generate_ior_trace(c);
+  // 4 ranks x 3 iterations x 2 segments x 5 requests.
+  EXPECT_EQ(t.requests.size(), 4u * 3u * 2u * 5u);
+  EXPECT_EQ(t.rank_count, 4);
+  EXPECT_EQ(t.total_bytes(), 4ull * 3 * 2 * 5 * (1 << 20));
+}
+
+TEST(Ior, PhasesAreSpacedByComputeTime) {
+  wl::IorConfig c;
+  c.ranks = 2;
+  c.iterations = 4;
+  c.compute_seconds = 50.0;
+  c.compute_jitter = 0.0;
+  const auto t = wl::generate_ior_trace(c);
+  // Collect distinct phase start times.
+  std::set<double> starts;
+  for (const auto& r : t.requests) starts.insert(r.start);
+  std::vector<double> phase_starts;
+  double last = -1e9;
+  for (double s : starts) {
+    if (s - last > 10.0) phase_starts.push_back(s);
+    last = s;
+  }
+  ASSERT_EQ(phase_starts.size(), 4u);
+  const double gap = phase_starts[1] - phase_starts[0];
+  EXPECT_NEAR(phase_starts[2] - phase_starts[1], gap, 1e-9);
+}
+
+TEST(Ior, WithReadsDoublesVolume) {
+  wl::IorConfig c;
+  c.ranks = 2;
+  c.iterations = 2;
+  const auto wo = wl::generate_ior_trace(c);
+  c.with_reads = true;
+  const auto wr = wl::generate_ior_trace(c);
+  EXPECT_EQ(wr.total_bytes(), 2 * wo.total_bytes());
+  EXPECT_GT(wr.total_bytes(tr::IoKind::kRead), 0u);
+}
+
+TEST(Ior, Fig2PresetHasPaperPeriod) {
+  const auto config = wl::ior_fig2_preset();
+  const auto t = wl::generate_ior_trace(config);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 10.0;
+  const auto r = core::detect(t, opts);
+  ASSERT_TRUE(r.periodic());
+  EXPECT_NEAR(r.period(), 111.67, 6.0);  // paper: 111.67 s
+}
+
+TEST(Ior, RejectsBadConfig) {
+  wl::IorConfig c;
+  c.transfer_size = 0;
+  EXPECT_THROW(wl::generate_ior_trace(c), ftio::util::InvalidArgument);
+  c = {};
+  c.block_size = c.transfer_size / 2;
+  EXPECT_THROW(wl::generate_ior_trace(c), ftio::util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Phase library + noise
+// ---------------------------------------------------------------------------
+
+TEST(PhaseLibrary, DurationsWithinPaperRange) {
+  wl::PhaseLibraryConfig c;
+  c.phase_count = 99;
+  const auto lib = wl::make_phase_library(c);
+  ASSERT_EQ(lib.size(), 99u);
+  double sum = 0.0;
+  for (const auto& p : lib) {
+    EXPECT_GE(p.duration, c.min_duration);
+    EXPECT_LE(p.duration, c.max_duration);
+    EXPECT_EQ(p.processes, 32);
+    EXPECT_EQ(p.requests.size(), 32u);
+    sum += p.duration;
+  }
+  // Mean near the paper's 10.4 s.
+  EXPECT_NEAR(sum / 99.0, 10.4, 0.8);
+}
+
+TEST(PhaseLibrary, VolumePerProcessPreserved) {
+  wl::PhaseLibraryConfig c;
+  c.phase_count = 3;
+  const auto lib = wl::make_phase_library(c);
+  for (const auto& p : lib) {
+    for (const auto& stream : p.requests) {
+      std::uint64_t bytes = 0;
+      for (const auto& r : stream) bytes += r.bytes;
+      EXPECT_GE(bytes, c.bytes_per_process);
+      EXPECT_LT(bytes, c.bytes_per_process + c.request_size);
+    }
+  }
+}
+
+TEST(PhaseLibrary, DeterministicForSeed) {
+  wl::PhaseLibraryConfig c;
+  c.phase_count = 5;
+  const auto a = wl::make_phase_library(c);
+  const auto b = wl::make_phase_library(c);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].duration, b[i].duration);
+  }
+}
+
+TEST(Noise, LevelsMatchPaperBandwidths) {
+  const auto low = wl::make_noise_trace(wl::NoiseLevel::kLow, 1);
+  const auto high = wl::make_noise_trace(wl::NoiseLevel::kHigh, 1);
+  ASSERT_EQ(low.requests.size(), 10u);   // 10 periods
+  ASSERT_EQ(high.requests.size(), 10u);
+  EXPECT_NEAR(low.requests[0].bandwidth(), 500e6, 1e6);
+  EXPECT_NEAR(high.requests[0].bandwidth(), 1e9, 1e7);
+  // ~2.2 s per period.
+  EXPECT_NEAR(low.duration / 10.0, 2.2, 0.3);
+  EXPECT_TRUE(wl::make_noise_trace(wl::NoiseLevel::kNone, 1).requests.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Semi-synthetic generator
+// ---------------------------------------------------------------------------
+
+class SemiSynthetic : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    wl::PhaseLibraryConfig c;
+    c.phase_count = 20;
+    library_ = new std::vector<wl::PhaseTrace>(wl::make_phase_library(c));
+  }
+  static void TearDownTestSuite() {
+    delete library_;
+    library_ = nullptr;
+  }
+  static std::vector<wl::PhaseTrace>* library_;
+};
+
+std::vector<wl::PhaseTrace>* SemiSynthetic::library_ = nullptr;
+
+TEST_F(SemiSynthetic, StructureMatchesConfig) {
+  wl::SemiSyntheticConfig c;
+  c.iterations = 10;
+  c.tcpu_mean = 11.0;
+  const auto app = wl::generate_semisynthetic(c, *library_);
+  EXPECT_EQ(app.phase_starts.size(), 10u);
+  EXPECT_GT(app.mean_period, 11.0);       // compute + I/O
+  EXPECT_LT(app.mean_period, 11.0 + 14.0);
+  EXPECT_EQ(app.trace.rank_count, 32);
+}
+
+TEST_F(SemiSynthetic, DetectionErrorDefinition) {
+  wl::SemiSyntheticConfig c;
+  c.iterations = 5;
+  const auto app = wl::generate_semisynthetic(c, *library_);
+  EXPECT_DOUBLE_EQ(app.detection_error(app.mean_period), 0.0);
+  EXPECT_NEAR(app.detection_error(app.mean_period * 1.1), 0.1, 1e-12);
+}
+
+TEST_F(SemiSynthetic, DeltaShiftsDesynchroniseProcesses) {
+  wl::SemiSyntheticConfig c;
+  c.iterations = 4;
+  c.phi = 5.0;
+  c.seed = 9;
+  const auto app = wl::generate_semisynthetic(c, *library_);
+  // Process 0 starts exactly at the phase boundary; some other process
+  // must start later by an exponential shift.
+  const double phase0 = app.phase_starts[0];
+  double min_start_p0 = 1e18;
+  double max_start_other = 0.0;
+  for (const auto& r : app.trace.requests) {
+    if (r.start >= phase0 + 30.0) break;
+    if (r.rank == 0) min_start_p0 = std::min(min_start_p0, r.start);
+    else max_start_other = std::max(max_start_other, r.start);
+  }
+  EXPECT_NEAR(min_start_p0, phase0, 1e-9);
+  EXPECT_GT(max_start_other, phase0);
+}
+
+TEST_F(SemiSynthetic, NoiseAddsExtraRank) {
+  wl::SemiSyntheticConfig c;
+  c.iterations = 4;
+  c.noise = wl::NoiseLevel::kHigh;
+  const auto app = wl::generate_semisynthetic(c, *library_);
+  EXPECT_EQ(app.trace.rank_count, 33);
+  bool saw_noise_rank = false;
+  for (const auto& r : app.trace.requests) saw_noise_rank |= r.rank == 32;
+  EXPECT_TRUE(saw_noise_rank);
+}
+
+TEST_F(SemiSynthetic, FtioRecoversPeriodOnCleanConfig) {
+  // delta_k = 0, sigma = 0: Fig. 8a says errors below 1%... allow a bin.
+  wl::SemiSyntheticConfig c;
+  c.iterations = 20;
+  c.tcpu_mean = 11.0;
+  c.seed = 42;
+  const auto app = wl::generate_semisynthetic(c, *library_);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;  // the paper's fs for these experiments
+  const auto r = core::detect(app.trace, opts);
+  ASSERT_TRUE(r.periodic());
+  EXPECT_LT(app.detection_error(r.period()), 0.06);
+}
+
+TEST_F(SemiSynthetic, RejectsBadInput) {
+  wl::SemiSyntheticConfig c;
+  c.iterations = 1;
+  EXPECT_THROW(wl::generate_semisynthetic(c, *library_),
+               ftio::util::InvalidArgument);
+  c.iterations = 5;
+  EXPECT_THROW(wl::generate_semisynthetic(c, {}),
+               ftio::util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Case-study emulators
+// ---------------------------------------------------------------------------
+
+TEST(Lammps, FifteenDumpsAtReportedCadence) {
+  wl::LammpsConfig c;
+  c.ranks = 64;  // scaled down; cadence is rank-independent
+  const auto t = wl::generate_lammps_trace(c);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 10.0;
+  const auto r = core::detect(t, opts);
+  ASSERT_TRUE(r.periodic());
+  // Paper: detected 25.73 s vs real mean 27.38 s.
+  EXPECT_NEAR(r.period(), 27.4, 3.0);
+}
+
+TEST(HaccIo, PhaseGapsFollowFig15) {
+  wl::HaccIoConfig c;
+  c.ranks = 32;
+  const auto t = wl::generate_haccio_trace(c);
+  // Average period ~8.7 s (paper), first phase delayed.
+  std::set<double> starts;
+  for (const auto& r : t.requests) {
+    if (r.kind == tr::IoKind::kWrite) starts.insert(r.start);
+  }
+  std::vector<double> phase_starts(starts.begin(), starts.end());
+  ASSERT_EQ(phase_starts.size(), 10u);
+  double gap_sum = 0.0;
+  for (std::size_t i = 1; i < phase_starts.size(); ++i) {
+    gap_sum += phase_starts[i] - phase_starts[i - 1];
+  }
+  EXPECT_NEAR(gap_sum / 9.0, 8.7, 0.2);
+  EXPECT_DOUBLE_EQ(phase_starts[0], 4.1);
+}
+
+TEST(HaccIo, ReadsFollowWrites) {
+  wl::HaccIoConfig c;
+  c.ranks = 8;
+  const auto t = wl::generate_haccio_trace(c);
+  EXPECT_GT(t.total_bytes(tr::IoKind::kRead), 0u);
+  EXPECT_GT(t.total_bytes(tr::IoKind::kWrite), 0u);
+}
+
+TEST(MiniIo, BurstsAreSubMillisecond) {
+  wl::MiniIoConfig c;
+  c.ranks = 16;
+  const auto t = wl::generate_miniio_trace(c);
+  for (const auto& r : t.requests) {
+    EXPECT_LT(r.duration(), 0.01);
+  }
+}
+
+TEST(MiniIo, HundredHertzSamplingHasLargeAbstractionError) {
+  // The Fig. 6 lesson: fs = 100 Hz cannot capture miniIO's bursts.
+  wl::MiniIoConfig c;
+  c.ranks = 16;
+  const auto t = wl::generate_miniio_trace(c);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 100.0;
+  const auto r = core::detect(t, opts);
+  EXPECT_GT(r.abstraction_error, 0.3);
+  // Sampling fast enough fixes it.
+  opts.sampling_frequency = 20'000.0;
+  const auto fine = core::detect(t, opts);
+  EXPECT_LT(fine.abstraction_error, 0.05);
+}
+
+TEST(Nek5000, HeatmapLayoutMatchesPaper) {
+  const auto h = wl::generate_nek5000_heatmap();
+  EXPECT_DOUBLE_EQ(h.bin_width, 160.0);
+  EXPECT_NEAR(h.implied_sampling_frequency(), 0.00625, 1e-9);
+  ASSERT_EQ(h.bytes_per_bin.size(), 538u);
+  // Heavy phases (13 + 75 + 2x30 GB), regular 7 GB checkpoints, the
+  // irregular tail, and a continuous background floor.
+  double total = 0.0;
+  double peak = 0.0;
+  for (double b : h.bytes_per_bin) {
+    total += b;
+    peak = std::max(peak, b);
+    EXPECT_GT(b, 0.0);  // background I/O fills every bin
+  }
+  EXPECT_GT(total, 250e9);
+  // The 75 GB phase spread over 2000 s dominates a single bin's share.
+  EXPECT_GT(peak, 5e9);
+}
+
+TEST(Nek5000, ReducedWindowIsPeriodicFullWindowIsNot) {
+  const auto h = wl::generate_nek5000_heatmap();
+  const auto bw = h.bandwidth();
+  core::FtioOptions opts;
+  opts.sampling_frequency = h.implied_sampling_frequency();
+  opts.sampling_mode = ftio::signal::SamplingMode::kBinAverage;
+
+  // Full trace (dt = 86,000 s): the irregular 30 GB phases break it.
+  const auto full = core::analyze_bandwidth(bw, opts);
+  EXPECT_FALSE(full.periodic());
+
+  // Reduced window dt = 56,000 s: period ~4642 s re-emerges.
+  opts.window_end = 56'000.0;
+  const auto reduced = core::analyze_bandwidth(bw, opts);
+  ASSERT_TRUE(reduced.periodic());
+  EXPECT_NEAR(reduced.period(), 4642.1, 500.0);
+}
