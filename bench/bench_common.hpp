@@ -6,6 +6,7 @@
 //   --full        run at paper scale (more traces per parameter point)
 //   --traces=N    explicit trace count per parameter point
 //   --seed=S      base RNG seed
+//   --threads=N   worker threads for the batched engine (0 = all cores)
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,7 @@ struct Args {
   bool full = false;
   std::size_t traces = 0;  // 0 = bench default
   std::uint64_t seed = 1;
+  unsigned threads = 0;    // 0 = hardware concurrency
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -33,8 +35,11 @@ inline Args parse_args(int argc, char** argv) {
       args.traces = static_cast<std::size_t>(std::atoll(arg.c_str() + 9));
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 10);
+      args.threads = v > 0 ? static_cast<unsigned>(v) : 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --full --traces=N --seed=S\n");
+      std::printf("options: --full --traces=N --seed=S --threads=N\n");
       std::exit(0);
     }
   }

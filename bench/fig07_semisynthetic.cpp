@@ -3,28 +3,26 @@
 //   (a) t_cpu = 1/4 of the I/O phase duration,
 //   (b) t_cpu ~ N(11, 22^2) truncated positive,
 //   (c) mean delta_k = 22 s added to the processes' I/O phases.
+// The three traces run as one engine::analyze_many batch.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/ftio.hpp"
+#include "engine/engine.hpp"
 #include "trace/model.hpp"
 #include "workloads/semisynthetic.hpp"
 
 namespace {
 
 void describe(const char* label, const ftio::workloads::SemiSyntheticApp& app,
-              const char* note) {
-  const auto bw = ftio::trace::bandwidth_signal(app.trace);
+              const ftio::core::FtioResult& r, const char* note) {
   std::printf("%s  (%s)\n", label, note);
   std::printf("  phases: %zu, mean period T-bar: %.2f s, duration: %.1f s, "
               "requests: %zu\n",
               app.phase_starts.size(), app.mean_period, app.trace.duration(),
               app.trace.requests.size());
-  ftio::core::FtioOptions opts;
-  opts.sampling_frequency = 1.0;
-  opts.with_metrics = false;
-  const auto r = ftio::core::detect(app.trace, opts);
   if (r.periodic()) {
     std::printf("  FTIO: period %.2f s (error %.1f%%, confidence %.0f%%)\n\n",
                 r.period(), 100.0 * app.detection_error(r.period()),
@@ -47,28 +45,42 @@ int main(int argc, char** argv) {
   std::printf("phase library: %zu phases, 32 processes, 3.5 GB each\n\n",
               library.size());
 
+  std::vector<ftio::workloads::SemiSyntheticApp> apps;
   {
     ftio::workloads::SemiSyntheticConfig c;
     c.tcpu_mean = 10.4 / 4.0;  // (a): t_cpu is a quarter of the I/O length
     c.seed = args.seed;
-    describe("(a)", ftio::workloads::generate_semisynthetic(c, library),
-             "t_cpu = t_io / 4, delta_k = 0");
+    apps.push_back(ftio::workloads::generate_semisynthetic(c, library));
   }
   {
     ftio::workloads::SemiSyntheticConfig c;
     c.tcpu_mean = 11.0;  // (b): t_cpu ~ N(11, 22^2)
     c.tcpu_sigma = 22.0;
     c.seed = args.seed + 1;
-    describe("(b)", ftio::workloads::generate_semisynthetic(c, library),
-             "t_cpu ~ N(11, 22^2) truncated positive");
+    apps.push_back(ftio::workloads::generate_semisynthetic(c, library));
   }
   {
     ftio::workloads::SemiSyntheticConfig c;
     c.tcpu_mean = 11.0;  // (c): heavy desynchronisation
     c.phi = 22.0;
     c.seed = args.seed + 2;
-    describe("(c)", ftio::workloads::generate_semisynthetic(c, library),
-             "mean delta_k = 22 s");
+    apps.push_back(ftio::workloads::generate_semisynthetic(c, library));
   }
+
+  ftio::core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.with_metrics = false;
+
+  std::vector<ftio::engine::TraceView> views;
+  for (const auto& app : apps) {
+    views.push_back(ftio::engine::TraceView::of(app.trace));
+  }
+  ftio::engine::EngineOptions engine;
+  engine.threads = args.threads;
+  const auto results = ftio::engine::analyze_many(views, opts, engine);
+
+  describe("(a)", apps[0], results[0], "t_cpu = t_io / 4, delta_k = 0");
+  describe("(b)", apps[1], results[1], "t_cpu ~ N(11, 22^2) truncated positive");
+  describe("(c)", apps[2], results[2], "mean delta_k = 22 s");
   return 0;
 }

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       c.noise = noises[n];
       const auto res = bench::run_point(c, library, traces,
                                         args.seed + static_cast<std::uint64_t>(
-                                            100 * ratio) + n * 17);
+                                            100 * ratio) + n * 17,
+                                        /*with_metrics=*/false, args.threads);
       char label[32];
       std::snprintf(label, sizeof label, "ratio %.2f", ratio);
       bench::print_box_row(label, ftio::util::boxplot_summary(res.errors),

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     c.phi = phi;
     const auto res =
         bench::run_point(c, library, traces,
-                         args.seed + static_cast<std::uint64_t>(phi * 10));
+                         args.seed + static_cast<std::uint64_t>(phi * 10),
+                         /*with_metrics=*/false, args.threads);
     char label[32];
     std::snprintf(label, sizeof label, "phi %.1f s", phi);
     bench::print_box_row(label, ftio::util::boxplot_summary(res.errors),

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     c.tcpu_mean = 11.0;
     c.tcpu_sigma = ratio * c.tcpu_mean;
     const auto res = bench::run_point(
-        c, library, traces, args.seed + static_cast<std::uint64_t>(ratio * 100));
+        c, library, traces, args.seed + static_cast<std::uint64_t>(ratio * 100),
+        /*with_metrics=*/false, args.threads);
 
     char label[32];
     std::snprintf(label, sizeof label, "s/m %.2f", ratio);

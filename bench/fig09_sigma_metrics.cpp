@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     const auto res = bench::run_point(c, library, traces,
                                       args.seed +
                                           static_cast<std::uint64_t>(ratio * 100),
-                                      /*with_metrics=*/true);
+                                      /*with_metrics=*/true, args.threads);
     std::printf("sigma/mu = %.2f\n", ratio);
     bench::print_box_row("  sigma_vol",
                          ftio::util::boxplot_summary(res.sigma_vol));

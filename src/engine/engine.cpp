@@ -1,0 +1,79 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "signal/fft.hpp"
+#include "signal/plan.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace ftio::engine {
+
+namespace {
+
+/// Pre-builds the plans a sample view will need: the real-input tables
+/// for the rfft at size N (what compute_spectrum actually runs) and the
+/// complex plan for the ACF convolution size next_pow2(2N). Bandwidth/
+/// trace views discretise inside the pipeline, so their N is not known
+/// here; their first worker populates the cache instead.
+void warm_plans_for(std::span<const TraceView> views,
+                    const ftio::core::FtioOptions& options) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(views.size());
+  for (const auto& v : views) {
+    if (!v.samples.empty()) sizes.push_back(v.samples.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  for (std::size_t n : sizes) {
+    ftio::signal::get_plan(n)->prepare(/*for_real_input=*/true);
+    if (options.with_autocorrelation) {
+      // The ACF size is a power of two, so its plan has no lazy state.
+      ftio::signal::get_plan(ftio::signal::next_power_of_two(2 * n));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ftio::core::FtioResult> analyze_many(
+    std::span<const TraceView> views, const ftio::core::FtioOptions& options,
+    const EngineOptions& engine) {
+  std::vector<ftio::core::FtioResult> results(views.size());
+  if (views.empty()) return results;
+
+  if (engine.plan_cache_capacity > 0 &&
+      ftio::signal::plan_cache().capacity() < engine.plan_cache_capacity) {
+    ftio::signal::plan_cache().set_capacity(engine.plan_cache_capacity);
+  }
+  if (engine.warm_plans) warm_plans_for(views, options);
+
+  ftio::util::parallel_for(
+      views.size(),
+      [&](std::size_t i) {
+        const TraceView& v = views[i];
+        if (v.trace != nullptr) {
+          results[i] = ftio::core::detect(*v.trace, options);
+        } else if (v.bandwidth != nullptr) {
+          results[i] = ftio::core::analyze_bandwidth(*v.bandwidth, options);
+        } else {
+          ftio::util::expect(!v.samples.empty(),
+                             "analyze_many: view without a source");
+          results[i] =
+              ftio::core::analyze_samples(v.samples, options, v.origin);
+        }
+      },
+      engine.threads);
+  return results;
+}
+
+std::vector<ftio::core::FtioResult> analyze_traces(
+    std::span<const ftio::trace::Trace> traces,
+    const ftio::core::FtioOptions& options, const EngineOptions& engine) {
+  std::vector<TraceView> views;
+  views.reserve(traces.size());
+  for (const auto& t : traces) views.push_back(TraceView::of(t));
+  return analyze_many(views, options, engine);
+}
+
+}  // namespace ftio::engine

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "signal/fft.hpp"
+#include "signal/plan.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -15,19 +16,26 @@ std::vector<double> acf_impl(std::span<const double> samples, bool center) {
   const std::size_t n = samples.size();
 
   // Zero-pad to >= 2N to turn circular correlation into linear correlation.
+  // The padded/spectrum buffers are per-thread scratch and the 2N-point
+  // plan comes from the cache, so repeated ACF calls (the Sec. III-A
+  // sweeps run thousands) neither reallocate nor recompute twiddles.
   const std::size_t m = next_power_of_two(2 * n);
-  std::vector<Complex> padded(m, Complex(0.0, 0.0));
+  thread_local std::vector<Complex> padded;
+  thread_local std::vector<Complex> spectrum;
+  padded.assign(m, Complex(0.0, 0.0));
   const double mean = center ? ftio::util::mean(samples) : 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     padded[i] = Complex(samples[i] - mean, 0.0);
   }
 
-  auto spectrum = fft(padded);
+  const auto plan = get_plan(m);
+  spectrum.resize(m);
+  plan->forward(padded, spectrum);
   for (auto& v : spectrum) v *= std::conj(v);
-  const auto correlated = ifft(spectrum);
+  plan->inverse(spectrum, padded);  // reuse padded as the correlation output
 
   std::vector<double> acf(n);
-  const double lag0 = correlated[0].real();
+  const double lag0 = padded[0].real();
   if (lag0 == 0.0) {
     // All-zero (or mean-constant) signal: define ACF as 1 at lag 0.
     acf.assign(n, 0.0);
@@ -35,7 +43,7 @@ std::vector<double> acf_impl(std::span<const double> samples, bool center) {
     return acf;
   }
   for (std::size_t lag = 0; lag < n; ++lag) {
-    acf[lag] = correlated[lag].real() / lag0;
+    acf[lag] = padded[lag].real() / lag0;
   }
   return acf;
 }

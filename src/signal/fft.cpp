@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "signal/plan.hpp"
 #include "util/error.hpp"
 
 namespace ftio::signal {
@@ -10,73 +11,6 @@ namespace ftio::signal {
 namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
-
-/// In-place iterative radix-2 Cooley-Tukey. `invert` selects the inverse
-/// transform (without the 1/N normalisation).
-void fft_radix2(std::vector<Complex>& a, bool invert) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (invert ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const Complex u = a[i + j];
-        const Complex v = a[i + j + len / 2] * w;
-        a[i + j] = u + v;
-        a[i + j + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-/// Bluestein's algorithm: expresses an arbitrary-size DFT as a convolution,
-/// evaluated with power-of-two FFTs. kn/N phases are computed with k*n
-/// reduced mod 2N to keep the chirp arguments accurate for large N.
-std::vector<Complex> bluestein(std::span<const Complex> input, bool invert) {
-  const std::size_t n = input.size();
-  const std::size_t m = next_power_of_two(2 * n - 1);
-
-  // Chirp w_k = exp(-i*pi*k^2/n) (conjugated for the inverse transform).
-  std::vector<Complex> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids catastrophic phase error for large k.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double angle =
-        (invert ? 1.0 : -1.0) * std::numbers::pi * static_cast<double>(k2) /
-        static_cast<double>(n);
-    chirp[k] = Complex(std::cos(angle), std::sin(angle));
-  }
-
-  std::vector<Complex> a(m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
-
-  std::vector<Complex> b(m, Complex(0.0, 0.0));
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-
-  fft_radix2(a, false);
-  fft_radix2(b, false);
-  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
-  fft_radix2(a, true);
-  const double scale = 1.0 / static_cast<double>(m);
-
-  std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    out[k] = a[k] * scale * chirp[k];
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -90,37 +24,23 @@ std::size_t next_power_of_two(std::size_t n) {
 
 std::vector<Complex> fft(std::span<const Complex> input) {
   ftio::util::expect(!input.empty(), "fft: empty input");
-  if (input.size() == 1) return {input[0]};
-  if (is_power_of_two(input.size())) {
-    std::vector<Complex> a(input.begin(), input.end());
-    fft_radix2(a, false);
-    return a;
-  }
-  return bluestein(input, false);
+  std::vector<Complex> out(input.size());
+  get_plan(input.size())->forward(input, out);
+  return out;
 }
 
 std::vector<Complex> ifft(std::span<const Complex> input) {
   ftio::util::expect(!input.empty(), "ifft: empty input");
-  std::vector<Complex> out;
-  if (input.size() == 1) {
-    out = {input[0]};
-  } else if (is_power_of_two(input.size())) {
-    out.assign(input.begin(), input.end());
-    fft_radix2(out, true);
-  } else {
-    out = bluestein(input, true);
-  }
-  const double scale = 1.0 / static_cast<double>(input.size());
-  for (auto& v : out) v *= scale;
+  std::vector<Complex> out(input.size());
+  get_plan(input.size())->inverse(input, out);
   return out;
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {
-  std::vector<Complex> complex_input(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    complex_input[i] = Complex(input[i], 0.0);
-  }
-  return fft(complex_input);
+  ftio::util::expect(!input.empty(), "rfft: empty input");
+  std::vector<Complex> out(input.size());
+  get_plan(input.size())->forward_real(input, out);
+  return out;
 }
 
 std::vector<Complex> dft_direct(std::span<const Complex> input) {

@@ -11,7 +11,10 @@ using Complex = std::complex<double>;
 /// Discrete Fourier transform X_k = sum_n x_n * exp(-2*pi*i*k*n/N), the
 /// definition in Sec. II-B1 of the paper. Dispatches to an iterative
 /// radix-2 Cooley-Tukey FFT when N is a power of two and to Bluestein's
-/// chirp-z algorithm otherwise, so every N costs O(N log N).
+/// chirp-z algorithm otherwise, so every N costs O(N log N). Backed by
+/// the process-wide plan cache (signal/plan.hpp): twiddle factors,
+/// bit-reversal permutations, and Bluestein chirp tables are computed
+/// once per size and reused across calls and threads.
 std::vector<Complex> fft(std::span<const Complex> input);
 
 /// Inverse transform: x_n = (1/N) sum_k X_k * exp(+2*pi*i*k*n/N).
@@ -20,6 +23,8 @@ std::vector<Complex> ifft(std::span<const Complex> input);
 /// FFT of a real-valued signal (the I/O bandwidth samples). Returns the
 /// full N-bin complex spectrum; callers typically inspect only bins
 /// [0, N/2] because real input makes the spectrum conjugate-symmetric.
+/// Even N runs as one half-size complex transform (the classic pack/
+/// unpack trick), roughly halving the work of the seed implementation.
 std::vector<Complex> rfft(std::span<const double> input);
 
 /// Reference O(N^2) DFT used for validating the FFT in tests.

@@ -1,0 +1,388 @@
+#include "signal/plan.hpp"
+
+#include <cmath>
+#include <list>
+#include <mutex>
+#include <numbers>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ftio::signal {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// exp(-2*pi*i*k/n) with the quarter-period points snapped to their exact
+/// values. sin(pi) rounds to ~1.22e-16 rather than 0, and that residue
+/// multiplied into a nonzero bin turns an exactly-zero spectrum line into
+/// noise (visible on constant signals, whose off-DC bins cancel exactly).
+Complex unit_root(std::size_t k, std::size_t n) {
+  if (k == 0) return Complex(1.0, 0.0);
+  if (4 * k == n) return Complex(0.0, -1.0);
+  if (2 * k == n) return Complex(-1.0, 0.0);
+  if (4 * k == 3 * n) return Complex(0.0, 1.0);
+  const double angle = -kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+  return Complex(std::cos(angle), std::sin(angle));
+}
+
+/// Per-thread scratch. Each member is dedicated to one call site so that
+/// nested transforms (forward_real -> half plan -> Bluestein -> radix-2)
+/// never step on each other's buffer:
+///   bluestein  — conv: the m-point convolution buffer
+///   inverse    — conj: conjugated input for the non-pow2 inverse
+///   real path  — packed/half: the N/2 packed signal and its spectrum
+///   rfft fallback (odd N) — packed doubles as the complexified input
+/// Buffers only grow, so steady-state transforms do no allocation at all.
+struct Workspace {
+  std::vector<Complex> conv;
+  std::vector<Complex> conj;
+  std::vector<Complex> packed;
+  std::vector<Complex> half;
+};
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+/// Radix-2 butterfly passes with the direction compiled in: no per-
+/// butterfly invert branch, and the first stage (every twiddle is 1)
+/// runs as plain add/sub pairs.
+template <bool Invert>
+void radix2_core(std::span<Complex> a,
+                 const std::vector<std::uint32_t>& bitrev,
+                 const std::vector<Complex>& twiddle) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const Complex u = a[i];
+    const Complex v = a[i + 1];
+    a[i] = u + v;
+    a[i + 1] = u - v;
+  }
+  for (std::size_t len = 4; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;  // twiddle table stride
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        Complex w = twiddle[j * stride];
+        if constexpr (Invert) w = std::conj(w);
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FftPlan
+// ---------------------------------------------------------------------------
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+  ftio::util::expect(n >= 1, "FftPlan: size must be >= 1");
+  ftio::util::expect(n <= (std::size_t{1} << 31),
+                     "FftPlan: size exceeds 2^31");
+
+  if (pow2_ && n_ >= 2) {
+    // Bit-reversal permutation, same construction as the classic in-place
+    // loop but stored once instead of recomputed per transform.
+    bitrev_.resize(n_);
+    bitrev_[0] = 0;
+    for (std::size_t i = 1, j = 0; i < n_; ++i) {
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev_[i] = static_cast<std::uint32_t>(j);
+    }
+    twiddle_.resize(n_ / 2);
+    for (std::size_t j = 0; j < n_ / 2; ++j) {
+      twiddle_[j] = unit_root(j, n_);
+    }
+  } else if (!pow2_) {
+    m_ = next_power_of_two(2 * n_ - 1);
+  }
+}
+
+void FftPlan::ensure_bluestein_tables() const {
+  std::call_once(bluestein_once_, [this] {
+    // Bluestein: chirp, and the FFT of the wrapped conjugate chirp — the
+    // expensive part of the convolution, paid once per size on the first
+    // complex transform.
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n avoids catastrophic phase error for large k.
+      const std::size_t k2 = (k * k) % (2 * n_);
+      const double angle = -std::numbers::pi * static_cast<double>(k2) /
+                           static_cast<double>(n_);
+      chirp_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+    sub_ = get_plan(m_);
+    bhat_.assign(m_, Complex(0.0, 0.0));
+    bhat_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      bhat_[k] = bhat_[m_ - k] = std::conj(chirp_[k]);
+    }
+    sub_->radix2_inplace(bhat_, /*invert=*/false);
+  });
+}
+
+void FftPlan::ensure_real_tables() const {
+  std::call_once(real_once_, [this] {
+    half_ = get_plan(n_ / 2);
+    // forward_real always runs the half plan's complex transform, so
+    // finish its lazy state here rather than on first use.
+    half_->prepare(/*for_real_input=*/false);
+    real_twiddle_.resize(n_ / 2 + 1);
+    for (std::size_t k = 0; k <= n_ / 2; ++k) {
+      real_twiddle_[k] = unit_root(k, n_);
+    }
+  });
+}
+
+void FftPlan::prepare(bool for_real_input) const {
+  if (for_real_input && n_ >= 2 && n_ % 2 == 0) {
+    ensure_real_tables();
+    return;
+  }
+  if (!pow2_ && n_ > 1) ensure_bluestein_tables();
+}
+
+void FftPlan::radix2_inplace(std::span<Complex> a, bool invert) const {
+  if (a.size() < 2) return;
+  if (invert) {
+    radix2_core<true>(a, bitrev_, twiddle_);
+  } else {
+    radix2_core<false>(a, bitrev_, twiddle_);
+  }
+}
+
+void FftPlan::bluestein_forward(std::span<const Complex> in,
+                                std::span<Complex> out) const {
+  ensure_bluestein_tables();
+  auto& conv = workspace().conv;
+  conv.assign(m_, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n_; ++k) conv[k] = in[k] * chirp_[k];
+
+  sub_->radix2_inplace(conv, /*invert=*/false);
+  for (std::size_t i = 0; i < m_; ++i) conv[i] *= bhat_[i];
+  sub_->radix2_inplace(conv, /*invert=*/true);
+
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[k] = conv[k] * scale * chirp_[k];
+  }
+}
+
+void FftPlan::forward(std::span<const Complex> in,
+                      std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::forward: size mismatch");
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (pow2_) {
+    if (out.data() != in.data()) {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+    radix2_inplace(out, /*invert=*/false);
+    return;
+  }
+  bluestein_forward(in, out);
+}
+
+void FftPlan::inverse(std::span<const Complex> in,
+                      std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::inverse: size mismatch");
+  const double scale = 1.0 / static_cast<double>(n_);
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (pow2_) {
+    if (out.data() != in.data()) {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+    radix2_inplace(out, /*invert=*/true);
+    for (auto& v : out) v *= scale;
+    return;
+  }
+  // Non power-of-two inverse via conjugation: ifft(x) = conj(fft(conj(x)))/N.
+  auto& cj = workspace().conj;
+  cj.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) cj[k] = std::conj(in[k]);
+  bluestein_forward(cj, out);
+  for (auto& v : out) v = std::conj(v) * scale;
+}
+
+void FftPlan::forward_real(std::span<const double> in,
+                           std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::forward_real: size mismatch");
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Odd N: complexify and run the full transform.
+    auto& packed = workspace().packed;
+    packed.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) packed[i] = Complex(in[i], 0.0);
+    forward(packed, out);
+    return;
+  }
+
+  // Pack x[2j] + i*x[2j+1] into an N/2-point signal, transform it, then
+  // untangle the even/odd spectra with the precomputed unpack twiddles.
+  ensure_real_tables();
+  const std::size_t h = n_ / 2;
+  auto& packed = workspace().packed;
+  auto& half = workspace().half;
+  packed.resize(h);
+  half.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    packed[j] = Complex(in[2 * j], in[2 * j + 1]);
+  }
+  half_->forward(packed, half);
+
+  for (std::size_t k = 0; k <= h; ++k) {
+    const Complex zk = half[k % h];
+    const Complex zmk = std::conj(half[(h - k) % h]);
+    const Complex even = 0.5 * (zk + zmk);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zmk);
+    const Complex xk = even + real_twiddle_[k] * odd;
+    out[k] = xk;
+    if (k > 0 && k < h) out[n_ - k] = std::conj(xk);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+struct PlanCache::Impl {
+  mutable std::mutex mutex;
+  std::size_t capacity;
+  // MRU-ordered list of (size, plan); map values point into the list.
+  std::list<std::pair<std::size_t, std::shared_ptr<const FftPlan>>> lru;
+  std::unordered_map<std::size_t, decltype(lru)::iterator> index;
+  // Counters are only touched under `mutex`.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  void evict_to_capacity_locked() {
+    while (lru.size() > capacity) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+      ++evictions;
+    }
+  }
+};
+
+PlanCache::PlanCache(std::size_t capacity) : impl_(new Impl) {
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->index.find(n);
+    if (it != impl_->index.end()) {
+      impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+      ++impl_->hits;
+      return it->second->second;
+    }
+  }
+  // Construct outside the lock: plan construction can recurse into the
+  // cache (Bluestein's power-of-two sub-plan, the real-path half plan) and
+  // may take milliseconds for large N. Two threads racing on the same size
+  // build twice; the first insert wins, the loser's copy is discarded and
+  // its lookup is recounted as a hit on the winner's entry.
+  auto plan = std::make_shared<const FftPlan>(n);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->index.find(n);
+  if (it != impl_->index.end()) {
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    ++impl_->hits;
+    return it->second->second;
+  }
+  ++impl_->misses;
+  impl_->lru.emplace_front(n, plan);
+  impl_->index[n] = impl_->lru.begin();
+  impl_->evict_to_capacity_locked();
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Stats s;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.evictions = impl_->evictions;
+  s.size = impl_->lru.size();
+  return s;
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->capacity;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+  impl_->evict_to_capacity_locked();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->hits = 0;
+  impl_->misses = 0;
+  impl_->evictions = 0;
+}
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FftPlan> get_plan(std::size_t n) {
+  return plan_cache().get(n);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free entry points
+// ---------------------------------------------------------------------------
+
+void fft_into(std::span<const Complex> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "fft_into: empty input");
+  get_plan(in.size())->forward(in, out);
+}
+
+void ifft_into(std::span<const Complex> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "ifft_into: empty input");
+  get_plan(in.size())->inverse(in, out);
+}
+
+void rfft_into(std::span<const double> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "rfft_into: empty input");
+  get_plan(in.size())->forward_real(in, out);
+}
+
+}  // namespace ftio::signal

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "signal/fft.hpp"
+
+namespace ftio::signal {
+
+/// Precomputed transform state for one size N. A plan owns every table the
+/// transform needs — twiddle factors and the bit-reversal permutation for
+/// the radix-2 path, the chirp and its precomputed spectrum for the
+/// Bluestein path, and (for even N) a half-size sub-plan plus the unpack
+/// twiddles that make the real-input fast path possible. Plans are
+/// immutable after construction and therefore safe to share across
+/// threads; mutable scratch lives in per-thread workspaces inside the
+/// execution functions.
+///
+/// Most callers should not construct plans directly but go through
+/// `plan_cache()` (or the `fft`/`rfft`/`ifft` free functions, which do so
+/// internally). Direct construction is the "cold path": it deliberately
+/// pays the full table-building cost per call, which is what the
+/// pre-plan-cache implementation paid on every transform — `bench/
+/// micro_fft.cpp` uses it as the baseline.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// True when N is a power of two (pure radix-2, no Bluestein tables).
+  bool radix2() const { return pow2_; }
+
+  /// Forward DFT: out_k = sum_n in_n exp(-2*pi*i*k*n/N).
+  /// in.size() == out.size() == size(). For power-of-two plans in and out
+  /// may alias; Bluestein requires distinct buffers only between in and
+  /// the internal scratch (aliasing in/out is still fine).
+  void forward(std::span<const Complex> in, std::span<Complex> out) const;
+
+  /// Inverse DFT including the 1/N normalisation.
+  void inverse(std::span<const Complex> in, std::span<Complex> out) const;
+
+  /// Forward DFT of a real signal, returning the full N-bin conjugate-
+  /// symmetric spectrum. Even N takes the half-size fast path (N real ->
+  /// N/2 complex transform + O(N) unpack); odd N falls back to the
+  /// complex transform.
+  void forward_real(std::span<const double> in, std::span<Complex> out) const;
+
+  /// Forces construction of the lazily built tables so that subsequent
+  /// transforms on worker threads find everything resident: the Bluestein
+  /// state for complex transforms, plus (with for_real_input and even N)
+  /// the half-size sub-plan and unpack twiddles. Thread-safe.
+  void prepare(bool for_real_input) const;
+
+ private:
+  void radix2_inplace(std::span<Complex> a, bool invert) const;
+  void bluestein_forward(std::span<const Complex> in,
+                         std::span<Complex> out) const;
+  void ensure_bluestein_tables() const;
+  void ensure_real_tables() const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+
+  // Radix-2 tables (power-of-two N only).
+  std::vector<std::uint32_t> bitrev_;   ///< permutation, size N
+  std::vector<Complex> twiddle_;        ///< exp(-2*pi*i*j/N), j < N/2
+
+  // Bluestein tables (non power-of-two N only). Built lazily on the
+  // first complex transform: an even non-pow2 plan that only ever serves
+  // forward_real never touches them, and they are the expensive part
+  // (a next_pow2(2N-1) sub-plan plus an FFT of the chirp).
+  std::size_t m_ = 0;                   ///< pow2 convolution size >= 2N-1
+  mutable std::once_flag bluestein_once_;
+  mutable std::vector<Complex> chirp_;  ///< exp(-i*pi*k^2/N), size N
+  mutable std::vector<Complex> bhat_;   ///< FFT_m of the wrapped conj chirp
+  mutable std::shared_ptr<const FftPlan> sub_;  ///< pow2 plan for m
+
+  // Real-input fast path (even N only). Built lazily on the first
+  // forward_real call — eager construction would recursively drag a
+  // half-plan chain (N/2, N/4, ...) into the cache for plans that only
+  // ever run complex transforms (e.g. Bluestein sub-plans, ACF sizes).
+  mutable std::once_flag real_once_;
+  mutable std::shared_ptr<const FftPlan> half_;  ///< cached plan for N/2
+  mutable std::vector<Complex> real_twiddle_;    ///< exp(-2*pi*i*k/N), k<=N/2
+};
+
+/// Thread-safe LRU cache of FftPlans keyed by N. One global instance (see
+/// plan_cache()) backs the fft/rfft/ifft free functions so that repeated
+/// transforms of the same size reuse tables instead of recomputing them.
+class PlanCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan for size n, constructing and caching it on a miss.
+  /// The returned handle stays valid after eviction (shared ownership), so
+  /// worker threads can hold a per-thread handle across a whole batch.
+  std::shared_ptr<const FftPlan> get(std::size_t n);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;  ///< plans currently resident
+  };
+  Stats stats() const;
+
+  std::size_t capacity() const;
+  /// Resizes the cache, evicting least-recently-used plans if needed.
+  void set_capacity(std::size_t capacity);
+  /// Drops every cached plan and resets the stats counters.
+  void clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide plan cache used by the fft/rfft/ifft free functions.
+PlanCache& plan_cache();
+
+/// Convenience: plan_cache().get(n).
+std::shared_ptr<const FftPlan> get_plan(std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Allocation-free transform entry points (plan-cached, scratch reused).
+// out.size() must equal in.size(); results match the vector-returning
+// fft/ifft/rfft free functions bit for bit.
+// ---------------------------------------------------------------------------
+void fft_into(std::span<const Complex> in, std::span<Complex> out);
+void ifft_into(std::span<const Complex> in, std::span<Complex> out);
+void rfft_into(std::span<const double> in, std::span<Complex> out);
+
+}  // namespace ftio::signal

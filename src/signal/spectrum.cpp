@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "signal/plan.hpp"
 #include "util/error.hpp"
 
 namespace ftio::signal {
@@ -16,7 +17,12 @@ Spectrum compute_spectrum(std::span<const double> samples, double fs) {
   ftio::util::expect(!samples.empty(), "compute_spectrum: empty signal");
   ftio::util::expect(fs > 0.0, "compute_spectrum: fs must be positive");
 
-  const auto bins = rfft(samples);
+  // Plan-cached real transform into per-thread scratch: the full N-bin
+  // buffer is reused across calls instead of reallocated, and only the
+  // single-sided half is copied out below.
+  thread_local std::vector<Complex> bins;
+  bins.resize(samples.size());
+  rfft_into(samples, bins);
   const std::size_t n = samples.size();
   const std::size_t half = n / 2;  // single-sided: k in [0, N/2]
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,11 @@ namespace ftio::util {
 /// (0 = hardware concurrency). Used for the embarrassingly parallel
 /// experiment sweeps (100 traces per parameter point in Sec. III-A).
 /// `body` must be safe to call concurrently for distinct indices.
+///
+/// If a body throws, the first exception is captured and rethrown on the
+/// calling thread after all workers join (an exception escaping a
+/// std::thread would std::terminate the process); remaining indices may
+/// be skipped once an exception is pending.
 inline void parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& body,
                          unsigned threads = 0) {
@@ -26,16 +33,26 @@ inline void parallel_for(std::size_t count,
   std::vector<std::thread> workers;
   workers.reserve(n);
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
   for (unsigned t = 0; t < n; ++t) {
     workers.emplace_back([&] {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t i = next.fetch_add(1);
         if (i >= count) break;
-        body(i);
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ftio::util

@@ -1,0 +1,185 @@
+#include "signal/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "signal/fft.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace sig = ftio::signal;
+using sig::Complex;
+
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  ftio::util::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  ftio::util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double max_abs_diff(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+/// Accuracy budget: rounding grows with transform size; Bluestein pays
+/// for three internal power-of-two passes.
+double tolerance(std::size_t n) {
+  return 1e-9 * std::sqrt(static_cast<double>(n)) + 1e-10;
+}
+
+// Power-of-two, prime, and highly-composite sizes (the paper's 7817-sample
+// IOR trace is prime).
+const std::size_t kSizes[] = {1,  2,   4,   8,  16,  64,  256, 1024,
+                              3,  5,   7,   31, 97,  101, 769,
+                              6,  12,  60,  120, 360, 1000, 1260};
+
+}  // namespace
+
+TEST(FftPlan, ForwardMatchesDirectDft) {
+  for (std::size_t n : kSizes) {
+    const auto x = random_signal(n, 1000 + n);
+    const auto want = sig::dft_direct(x);
+    const auto got = sig::fft(x);  // plan-cached path
+    ASSERT_EQ(got.size(), n);
+    EXPECT_LE(max_abs_diff(got, want), tolerance(n)) << "n = " << n;
+  }
+}
+
+TEST(FftPlan, RfftMatchesDirectDft) {
+  for (std::size_t n : kSizes) {
+    const auto x = random_real(n, 2000 + n);
+    std::vector<Complex> cx(n);
+    for (std::size_t i = 0; i < n; ++i) cx[i] = Complex(x[i], 0.0);
+    const auto want = sig::dft_direct(cx);
+    const auto got = sig::rfft(x);  // half-size fast path for even n
+    ASSERT_EQ(got.size(), n);
+    EXPECT_LE(max_abs_diff(got, want), tolerance(n)) << "n = " << n;
+  }
+}
+
+TEST(FftPlan, IfftInvertsFft) {
+  for (std::size_t n : kSizes) {
+    const auto x = random_signal(n, 3000 + n);
+    const auto roundtrip = sig::ifft(sig::fft(x));
+    EXPECT_LE(max_abs_diff(roundtrip, x), tolerance(n)) << "n = " << n;
+  }
+}
+
+TEST(FftPlan, RepeatedCallsAreBitForBitIdentical) {
+  // The cached plan must make repeated transforms exactly reproducible —
+  // no scratch-state leakage between calls.
+  for (std::size_t n : {256u, 97u, 360u}) {
+    const auto x = random_signal(n, 4000 + n);
+    const auto a = sig::fft(x);
+    const auto b = sig::fft(x);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)), 0)
+        << "n = " << n;
+  }
+}
+
+TEST(FftPlan, IntoVariantsMatchVectorVariants) {
+  const std::size_t n = 120;
+  const auto x = random_signal(n, 5);
+  const auto xr = random_real(n, 6);
+
+  std::vector<Complex> out(n);
+  sig::fft_into(x, out);
+  EXPECT_EQ(std::memcmp(out.data(), sig::fft(x).data(), n * sizeof(Complex)),
+            0);
+  sig::ifft_into(x, out);
+  EXPECT_EQ(std::memcmp(out.data(), sig::ifft(x).data(), n * sizeof(Complex)),
+            0);
+  sig::rfft_into(xr, out);
+  EXPECT_EQ(std::memcmp(out.data(), sig::rfft(xr).data(), n * sizeof(Complex)),
+            0);
+}
+
+TEST(PlanCache, HitsAndMisses) {
+  auto& cache = sig::plan_cache();
+  cache.clear();
+
+  const auto p1 = sig::get_plan(777);  // non-pow2: also builds sub-plans
+  const auto after_first = cache.stats();
+  EXPECT_GE(after_first.misses, 1u);
+
+  const auto p2 = sig::get_plan(777);
+  const auto after_second = cache.stats();
+  EXPECT_EQ(p1.get(), p2.get()) << "second lookup must reuse the plan";
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_EQ(after_second.hits, after_first.hits + 1);
+}
+
+TEST(PlanCache, LruEviction) {
+  sig::PlanCache cache(2);
+  const auto p8 = cache.get(8);
+  const auto p16 = cache.get(16);
+  (void)cache.get(8);     // touch 8 so 16 is the LRU entry
+  (void)cache.get(32);    // evicts 16
+  const auto s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  // 8 must still be resident; 16 must rebuild.
+  EXPECT_EQ(cache.get(8).get(), p8.get());
+  EXPECT_NE(cache.get(16).get(), p16.get());
+  // Evicted handles stay usable (shared ownership).
+  std::vector<Complex> out(16);
+  p16->forward(random_signal(16, 9), out);
+}
+
+TEST(PlanCache, SetCapacityShrinks) {
+  sig::PlanCache cache(8);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) (void)cache.get(n);
+  EXPECT_EQ(cache.stats().size, 5u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(PlanCache, ThreadSafetyUnderParallelFor) {
+  // Hammer the global cache from many workers with a mix of sizes that
+  // alias (forcing concurrent construction races) and verify every result
+  // against the direct DFT computed up front.
+  const std::size_t sizes[] = {64, 97, 128, 360, 509, 1024};
+  struct Case {
+    std::vector<Complex> input;
+    std::vector<Complex> want;
+  };
+  std::vector<Case> cases;
+  for (std::size_t n : sizes) {
+    Case c;
+    c.input = random_signal(n, 7000 + n);
+    c.want = sig::dft_direct(c.input);
+    cases.push_back(std::move(c));
+  }
+
+  sig::plan_cache().clear();
+  const std::size_t kIterations = 96;
+  std::vector<double> errors(kIterations, 0.0);
+  ftio::util::parallel_for(kIterations, [&](std::size_t i) {
+    const auto& c = cases[i % cases.size()];
+    errors[i] = max_abs_diff(sig::fft(c.input), c.want);
+  }, /*threads=*/8);
+
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    EXPECT_LE(errors[i], tolerance(cases[i % cases.size()].input.size()))
+        << "iteration " << i;
+  }
+}
