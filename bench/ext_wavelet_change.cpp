@@ -57,8 +57,13 @@ int main(int argc, char** argv) {
                 1.0 / mean_f);
   }
 
-  const std::size_t change = ftio::signal::strongest_change_point(cwt, 60);
-  std::printf("\nstrongest change point: t = %zu s (ground truth: 400 s)\n",
-              change);
+  const auto change = ftio::signal::strongest_change_point(cwt, 60);
+  if (change) {
+    std::printf("\nstrongest change point: t = %zu s (ground truth: 400 s)\n",
+                *change);
+  } else {
+    std::printf("\nstrongest change point: none detected "
+                "(ground truth: 400 s)\n");
+  }
   return 0;
 }

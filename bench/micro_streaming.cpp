@@ -1,0 +1,185 @@
+// Microbenchmark: the streaming layer's scaling claims.
+//
+//  - BM_OnlinePredictorLoop vs BM_StreamingSessionLoop: a full online run
+//    of F flushes. The legacy predictor re-runs detect() on the whole
+//    accumulated trace every flush (per-flush cost grows with the trace),
+//    the streaming session extends incremental state (per-flush cost
+//    ~O(analysis window)). Compare the per_flush_us counter across the F
+//    arguments: legacy grows roughly linearly with F, streaming stays
+//    ~flat.
+//  - BM_MorletCwtColdPath vs BM_MorletCwt: the pre-streaming CWT rebuilt
+//    per-row buffers through the allocating fft/ifft entry points on one
+//    thread; the plan-handle path reuses one plan plus per-thread scratch
+//    and fans rows across workers.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/online.hpp"
+#include "engine/streaming.hpp"
+#include "signal/fft.hpp"
+#include "signal/wavelet.hpp"
+#include "trace/model.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+std::vector<ftio::trace::IoRequest> phase(double start, double burst,
+                                          int ranks) {
+  std::vector<ftio::trace::IoRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    reqs.push_back(
+        {r, start, start + burst, 50'000'000, ftio::trace::IoKind::kWrite});
+  }
+  return reqs;
+}
+
+ftio::core::OnlineOptions online_options() {
+  ftio::core::OnlineOptions o;
+  o.base.sampling_frequency = 2.0;
+  o.base.with_metrics = false;
+  o.strategy = ftio::core::WindowStrategy::kAdaptive;
+  return o;
+}
+
+constexpr int kRanks = 64;
+constexpr double kPeriod = 10.0;
+
+void BM_OnlinePredictorLoop(benchmark::State& state) {
+  const auto flushes = static_cast<int>(state.range(0));
+  std::vector<std::vector<ftio::trace::IoRequest>> chunks;
+  for (int i = 0; i < flushes; ++i) chunks.push_back(phase(i * kPeriod, 2.0, kRanks));
+  for (auto _ : state) {
+    ftio::core::OnlinePredictor predictor(online_options());
+    for (const auto& chunk : chunks) {
+      predictor.ingest(std::span<const ftio::trace::IoRequest>(chunk));
+      benchmark::DoNotOptimize(predictor.predict());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_OnlinePredictorLoop)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamingSessionLoop(benchmark::State& state) {
+  const auto flushes = static_cast<int>(state.range(0));
+  std::vector<std::vector<ftio::trace::IoRequest>> chunks;
+  for (int i = 0; i < flushes; ++i) chunks.push_back(phase(i * kPeriod, 2.0, kRanks));
+  ftio::engine::StreamingOptions options;
+  options.online = online_options();
+  for (auto _ : state) {
+    ftio::engine::StreamingSession session(options);
+    for (const auto& chunk : chunks) {
+      session.ingest(std::span<const ftio::trace::IoRequest>(chunk));
+      benchmark::DoNotOptimize(session.predict());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_StreamingSessionLoop)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold baseline with the pre-streaming loop structure: one allocating
+// fft() for the signal, then per row a freshly allocated product vector,
+// a dense exp sweep over every bin, and an allocating ifft(), all on the
+// calling thread. The normalisation matches the fixed morlet_cwt so the
+// comparison isolates the plan/scratch/support-window/parallel changes.
+ftio::signal::CwtResult morlet_cwt_cold(std::span<const double> samples,
+                                        double fs,
+                                        std::span<const double> frequencies,
+                                        double omega0) {
+  using ftio::signal::Complex;
+  const std::size_t n = samples.size();
+  const std::size_t padded = ftio::signal::next_power_of_two(2 * n);
+  const double mean = ftio::util::mean(samples);
+  std::vector<Complex> x(padded, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < n; ++i) x[i] = Complex(samples[i] - mean, 0.0);
+  const auto x_hat = ftio::signal::fft(x);
+
+  ftio::signal::CwtResult result;
+  result.sampling_frequency = fs;
+  result.frequencies.assign(frequencies.begin(), frequencies.end());
+  result.power.resize(frequencies.size());
+
+  std::vector<double> omega(padded);
+  for (std::size_t k = 0; k < padded; ++k) {
+    const double f = (k <= padded / 2)
+                         ? static_cast<double>(k)
+                         : static_cast<double>(k) - static_cast<double>(padded);
+    omega[k] = 2.0 * std::numbers::pi * f * fs / static_cast<double>(padded);
+  }
+
+  for (std::size_t fi = 0; fi < frequencies.size(); ++fi) {
+    const double scale = omega0 / (2.0 * std::numbers::pi * frequencies[fi]);
+    const double norm = std::pow(std::numbers::pi, -0.25) *
+                        std::sqrt(2.0 * std::numbers::pi * scale * fs);
+    std::vector<Complex> product(padded);
+    for (std::size_t k = 0; k < padded; ++k) {
+      if (omega[k] <= 0.0) {
+        product[k] = Complex(0.0, 0.0);
+        continue;
+      }
+      const double arg = scale * omega[k] - omega0;
+      product[k] = x_hat[k] * (norm * std::exp(-0.5 * arg * arg));
+    }
+    const auto coefficients = ftio::signal::ifft(product);
+    auto& row = result.power[fi];
+    row.resize(n);
+    const double rectify = 1.0 / scale;
+    for (std::size_t i = 0; i < n; ++i) {
+      row[i] = std::norm(coefficients[i]) * rectify;
+    }
+  }
+  return result;
+}
+
+std::vector<double> cwt_test_signal(std::size_t n, double fs) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double f = i < n / 2 ? 0.1 : 0.25;
+    x[i] = 2.0 + std::cos(2.0 * std::numbers::pi * f * t);
+  }
+  return x;
+}
+
+void BM_MorletCwtColdPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double fs = 2.0;
+  const auto x = cwt_test_signal(n, fs);
+  const auto freqs = ftio::signal::log_spaced_frequencies(0.02, 0.5, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(morlet_cwt_cold(x, fs, freqs, 6.0));
+  }
+}
+BENCHMARK(BM_MorletCwtColdPath)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_MorletCwt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const double fs = 2.0;
+  const auto x = cwt_test_signal(n, fs);
+  const auto freqs = ftio::signal::log_spaced_frequencies(0.02, 0.5, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftio::signal::morlet_cwt(x, fs, freqs, 6.0, threads));
+  }
+}
+BENCHMARK(BM_MorletCwt)
+    ->Args({4096, 1})->Args({4096, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,12 +5,14 @@
 //   ./examples/online_prediction
 //
 // Demonstrates: mpisim::VirtualCluster + tmio::Tracer in online mode +
-// core::OnlinePredictor with the adaptive time window, and the DBSCAN
-// merging of predictions into probability-weighted frequency intervals.
+// engine::StreamingSession — the incremental, plan-cached successor of
+// core::OnlinePredictor (bit-identical predictions, ~O(window) per flush)
+// with an ensemble of window strategies evaluated in the same batch, and
+// the DBSCAN merging of predictions into probability-weighted intervals.
 
 #include <cstdio>
 
-#include "core/online.hpp"
+#include "engine/streaming.hpp"
 #include "mpisim/cluster.hpp"
 #include "tmio/tracer.hpp"
 
@@ -24,12 +26,17 @@ int main() {
                                      .app_name = "hacc-io-like"});
   cluster.attach_tracer(&tracer);
 
-  ftio::core::OnlineOptions online;
-  online.base.sampling_frequency = 2.0;
-  online.base.with_metrics = false;
-  online.strategy = ftio::core::WindowStrategy::kAdaptive;
-  online.adaptive_hits = 3;
-  ftio::core::OnlinePredictor predictor(online);
+  ftio::engine::StreamingOptions streaming;
+  streaming.online.base.sampling_frequency = 2.0;
+  streaming.online.base.with_metrics = false;
+  streaming.online.strategy = ftio::core::WindowStrategy::kAdaptive;
+  streaming.online.adaptive_hits = 3;
+  // Evaluate the alternative look-back rules next to the adaptive one;
+  // all windows of a flush share one analyze_many batch.
+  streaming.ensemble = {ftio::core::WindowStrategy::kGrowing,
+                        ftio::core::WindowStrategy::kFixedLength};
+  streaming.online.fixed_window = 30.0;
+  ftio::engine::StreamingSession session(streaming);
 
   std::printf("loop  flush@   window           prediction\n");
 
@@ -42,12 +49,16 @@ int main() {
       env.collective_write(2'000'000'000, 4);
       env.collective_read(2'000'000'000, 4);
       env.compute(0.3);  // verify
-      env.flush();
     });
 
-    // Feed the freshly flushed chunk to the predictor, then predict.
-    predictor.ingest(tracer.unflushed_chunk());
-    const auto p = predictor.predict();
+    // The flush line of this loop: grab the records accumulated since the
+    // previous flush, ship them to the trace sink, and feed the same
+    // chunk to the session (flushing first would mark them as already
+    // consumed and unflushed_chunk would come back empty).
+    const auto chunk = tracer.unflushed_chunk();
+    tracer.flush(chunk.end_time());
+    session.ingest(chunk);
+    const auto p = session.predict();
     if (p.found()) {
       std::printf("%4d  %6.1fs  [%6.1f, %6.1f]  period %.2f s (conf %.0f%%)\n",
                   loop, p.at_time, p.window_start, p.window_end, p.period(),
@@ -59,11 +70,34 @@ int main() {
   }
 
   std::printf("\nmerged frequency intervals (DBSCAN over predictions):\n");
-  for (const auto& iv : predictor.merged_intervals()) {
+  for (const auto& iv : session.merged_intervals()) {
     std::printf("  [%.4f, %.4f] Hz  center %.4f Hz (period %.2f s)  "
                 "probability %.0f%%\n",
                 iv.low, iv.high, iv.center, 1.0 / iv.center,
                 100.0 * iv.probability);
+  }
+
+  auto strategy_name = [](ftio::core::WindowStrategy s) {
+    switch (s) {
+      case ftio::core::WindowStrategy::kGrowing: return "growing";
+      case ftio::core::WindowStrategy::kAdaptive: return "adaptive";
+      case ftio::core::WindowStrategy::kFixedLength: return "fixed-length";
+    }
+    return "unknown";
+  };
+  std::printf("\nensemble view (last prediction per window strategy):\n");
+  for (std::size_t i = 0; i < streaming.ensemble.size(); ++i) {
+    const auto& history = session.ensemble_history(i);
+    if (history.empty()) continue;
+    const auto& last = history.back();
+    if (last.found()) {
+      std::printf("  %-12s period %.2f s (conf %.0f%%)\n",
+                  strategy_name(streaming.ensemble[i]), last.period(),
+                  100.0 * last.refined_confidence);
+    } else {
+      std::printf("  %-12s no dominant frequency\n",
+                  strategy_name(streaming.ensemble[i]));
+    }
   }
 
   const auto overhead = tracer.overhead();

@@ -107,8 +107,12 @@ int main() {
   const auto freqs = ftio::signal::log_spaced_frequencies(0.02, 0.5, 24);
   const auto cwt = ftio::signal::morlet_cwt(d.samples, 2.0, freqs);
   const auto change = ftio::signal::strongest_change_point(cwt, 120);
-  std::printf("\nwavelet view of rank 2 (cadence halves at 400 s): "
-              "strongest change at t = %.0f s\n",
-              static_cast<double>(change) / 2.0);
+  if (change) {
+    std::printf("\nwavelet view of rank 2 (cadence halves at 400 s): "
+                "strongest change at t = %.0f s\n",
+                static_cast<double>(*change) / 2.0);
+  } else {
+    std::printf("\nwavelet view of rank 2: no cadence change detected\n");
+  }
   return 0;
 }

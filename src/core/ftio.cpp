@@ -40,8 +40,8 @@ FtioResult analyze_samples(std::span<const double> samples,
   return result;
 }
 
-FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
-                             const FtioOptions& options) {
+AnalysisWindow select_analysis_window(
+    const ftio::signal::StepFunction& bandwidth, const FtioOptions& options) {
   ftio::util::expect(!bandwidth.empty(), "analyze_bandwidth: empty signal");
 
   // Clip to the requested window by re-sampling only inside it.
@@ -54,32 +54,45 @@ FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
   }
   ftio::util::expect(end > start, "analyze_bandwidth: empty analysis window");
 
-  // Build a window-restricted curve: shift-free, just sample over [start,end].
   const double duration = end - start;
   const auto n = static_cast<std::size_t>(
       std::ceil(duration * options.sampling_frequency));
   ftio::util::expect(n > 0, "analyze_bandwidth: window shorter than a sample");
+  return {start, end, n};
+}
 
-  std::vector<double> samples(n);
+void discretize_window(const ftio::signal::StepFunction& bandwidth,
+                       const AnalysisWindow& window,
+                       const FtioOptions& options, std::size_t first,
+                       std::vector<double>& samples) {
+  const std::size_t n = window.samples;
+  const double start = window.start;
+  samples.resize(n);
   const double dt = 1.0 / options.sampling_frequency;
   if (options.sampling_mode == ftio::signal::SamplingMode::kPointSample) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = first; i < n; ++i) {
       samples[i] = bandwidth.value_at(start + static_cast<double>(i) * dt);
     }
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = first; i < n; ++i) {
       const double a = start + static_cast<double>(i) * dt;
-      const double b = std::min(a + dt, end);
+      const double b = std::min(a + dt, window.end);
       samples[i] = b > a ? bandwidth.integral(a, b) / (b - a) : 0.0;
     }
   }
+}
 
-  FtioResult result = analyze_samples(samples, options, start);
-
+void finish_bandwidth_result(const ftio::signal::StepFunction& bandwidth,
+                             const AnalysisWindow& window,
+                             std::span<const double> samples,
+                             const FtioOptions& options, FtioResult& result) {
   // Abstraction error over the analysed window (Sec. II-E / Fig. 6).
+  const double start = window.start;
+  const double end = window.end;
+  const double dt = 1.0 / options.sampling_frequency;
   const double original = bandwidth.integral(start, end);
   double discrete = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
     const double a = start + static_cast<double>(i) * dt;
     discrete += samples[i] * std::max(std::min(dt, end - a), 0.0);
   }
@@ -89,6 +102,15 @@ FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
   if (options.with_metrics && result.periodic()) {
     result.metrics = compute_metrics(bandwidth, result.frequency());
   }
+}
+
+FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
+                             const FtioOptions& options) {
+  const AnalysisWindow window = select_analysis_window(bandwidth, options);
+  std::vector<double> samples;
+  discretize_window(bandwidth, window, options, 0, samples);
+  FtioResult result = analyze_samples(samples, options, window.start);
+  finish_bandwidth_result(bandwidth, window, samples, options, result);
   return result;
 }
 
@@ -104,8 +126,6 @@ FtioResult detect(const ftio::trace::Trace& trace, const FtioOptions& options) {
 
 double suggest_sampling_frequency(const ftio::trace::Trace& trace,
                                   double min_fs, double max_fs) {
-  ftio::util::expect(min_fs > 0.0 && max_fs >= min_fs,
-                     "suggest_sampling_frequency: bad clamp range");
   double min_duration = 0.0;
   for (const auto& r : trace.requests) {
     const double d = r.duration();
@@ -113,8 +133,15 @@ double suggest_sampling_frequency(const ftio::trace::Trace& trace,
       min_duration = d;
     }
   }
-  if (min_duration == 0.0) return min_fs;
-  return std::clamp(2.0 / min_duration, min_fs, max_fs);
+  return suggest_sampling_frequency(min_duration, min_fs, max_fs);
+}
+
+double suggest_sampling_frequency(double min_request_duration, double min_fs,
+                                  double max_fs) {
+  ftio::util::expect(min_fs > 0.0 && max_fs >= min_fs,
+                     "suggest_sampling_frequency: bad clamp range");
+  if (min_request_duration <= 0.0) return min_fs;
+  return std::clamp(2.0 / min_request_duration, min_fs, max_fs);
 }
 
 double frequency_resolution(double time_window) {

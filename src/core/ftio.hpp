@@ -78,6 +78,46 @@ struct FtioResult {
 FtioResult analyze_samples(std::span<const double> samples,
                            const FtioOptions& options, double origin = 0.0);
 
+// ---------------------------------------------------------------------------
+// Bandwidth-analysis building blocks. analyze_bandwidth is exactly the
+// composition select_analysis_window -> discretize_window ->
+// analyze_samples -> finish_bandwidth_result; they are exposed so the
+// streaming engine can run the identical pipeline while reusing its
+// incrementally maintained curve and cached sample prefix.
+// ---------------------------------------------------------------------------
+
+/// The sampling grid of one bandwidth evaluation: N = `samples` points at
+/// spacing 1/fs anchored at `start`, covering [start, end].
+struct AnalysisWindow {
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Window-selection step of analyze_bandwidth: clips the curve support to
+/// the option window (and past the first phase when skip_first_phase is
+/// set) and sizes the grid. Throws InvalidArgument when the window is
+/// empty or shorter than one sample.
+AnalysisWindow select_analysis_window(
+    const ftio::signal::StepFunction& bandwidth, const FtioOptions& options);
+
+/// Discretises `bandwidth` over `window` into samples[first, N); entries
+/// below `first` are left untouched (the streaming engine reuses the
+/// still-clean prefix of its cached vector — passing 0 fills everything).
+/// `samples` is resized to window.samples.
+void discretize_window(const ftio::signal::StepFunction& bandwidth,
+                       const AnalysisWindow& window,
+                       const FtioOptions& options, std::size_t first,
+                       std::vector<double>& samples);
+
+/// Fills the bandwidth-derived fields of a result computed from `samples`
+/// over `window`: the Sec. II-E abstraction error, and the
+/// characterization metrics when enabled and a period was found.
+void finish_bandwidth_result(const ftio::signal::StepFunction& bandwidth,
+                             const AnalysisWindow& window,
+                             std::span<const double> samples,
+                             const FtioOptions& options, FtioResult& result);
+
 /// Discretises a bandwidth curve at options.sampling_frequency (honouring
 /// the window options) and analyses it.
 FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
@@ -98,6 +138,13 @@ FtioResult detect(const ftio::trace::Trace& trace, const FtioOptions& options);
 /// bandwidth over time and use it to calculate fs."
 double suggest_sampling_frequency(const ftio::trace::Trace& trace,
                                   double min_fs = 0.01, double max_fs = 10000.0);
+
+/// Same rule from an already-known minimum positive request duration
+/// (<= 0 means "no positive duration seen" and yields min_fs). The
+/// streaming engine maintains that minimum incrementally instead of
+/// re-scanning the trace per flush.
+double suggest_sampling_frequency(double min_request_duration, double min_fs,
+                                  double max_fs);
 
 /// Frequency-domain resolution for a time window: 1/dt (Sec. II-B1).
 double frequency_resolution(double time_window);

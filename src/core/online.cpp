@@ -32,36 +32,61 @@ void OnlinePredictor::ingest(const ftio::trace::Trace& chunk) {
   ingest(std::span<const ftio::trace::IoRequest>(chunk.requests));
 }
 
+double select_online_window(const OnlineOptions& options,
+                            OnlineWindowState& state, double begin,
+                            double now) {
+  double start = begin;
+  switch (options.strategy) {
+    case WindowStrategy::kGrowing:
+      break;
+    case WindowStrategy::kAdaptive:
+      if (state.consecutive_hits >= options.adaptive_hits &&
+          state.last_period > 0.0) {
+        const double periods = static_cast<double>(options.adaptive_hits +
+                                                   options.adaptive_margin);
+        double window = periods * state.last_period;
+        if (options.base.sampling_frequency > 0.0) {
+          window = std::max(window,
+                            static_cast<double>(options.min_window_samples) /
+                                options.base.sampling_frequency);
+        }
+        state.window_start = std::max(begin, now - window);
+      }
+      start = std::max(begin, state.window_start);
+      break;
+    case WindowStrategy::kFixedLength:
+      start = std::max(begin, now - options.fixed_window);
+      break;
+  }
+  return start;
+}
+
+void record_online_result(OnlineWindowState& state, const Prediction& p) {
+  if (p.found()) {
+    ++state.consecutive_hits;
+    state.last_period = p.period();
+  } else {
+    state.consecutive_hits = 0;
+  }
+}
+
+Prediction prediction_from_result(const FtioResult& result, double now) {
+  Prediction p;
+  p.at_time = now;
+  p.frequency = result.dft.dominant_frequency;
+  p.confidence = result.confidence();
+  p.refined_confidence = result.refined_confidence;
+  p.window_start = result.window_start;
+  p.window_end = result.window_end;
+  p.sample_count = result.sample_count;
+  return p;
+}
+
 Prediction OnlinePredictor::predict() {
   ftio::util::expect(!trace_.empty(), "OnlinePredictor: no data ingested");
   const double now = trace_.end_time();
   const double begin = trace_.begin_time();
-
-  // Select the evaluation window. Adaptation uses the *previous* period:
-  // the paper notes the k-th detection's result only becomes available to
-  // the following prediction (Fig. 15a discussion).
-  double start = begin;
-  switch (options_.strategy) {
-    case WindowStrategy::kGrowing:
-      break;
-    case WindowStrategy::kAdaptive:
-      if (consecutive_hits_ >= options_.adaptive_hits && last_period_ > 0.0) {
-        const double periods = static_cast<double>(options_.adaptive_hits +
-                                                   options_.adaptive_margin);
-        double window = periods * last_period_;
-        if (options_.base.sampling_frequency > 0.0) {
-          window = std::max(window,
-                            static_cast<double>(options_.min_window_samples) /
-                                options_.base.sampling_frequency);
-        }
-        window_start_ = std::max(begin, now - window);
-      }
-      start = std::max(begin, window_start_);
-      break;
-    case WindowStrategy::kFixedLength:
-      start = std::max(begin, now - options_.fixed_window);
-      break;
-  }
+  const double start = select_online_window(options_, state_, begin, now);
 
   FtioOptions opts = options_.base;
   opts.window_start = start;
@@ -72,30 +97,18 @@ Prediction OnlinePredictor::predict() {
   }
   const FtioResult result = detect(trace_, opts);
 
-  Prediction p;
-  p.at_time = now;
-  p.frequency = result.dft.dominant_frequency;
-  p.confidence = result.confidence();
-  p.refined_confidence = result.refined_confidence;
-  p.window_start = result.window_start;
-  p.window_end = result.window_end;
-  p.sample_count = result.sample_count;
+  const Prediction p = prediction_from_result(result, now);
   history_.push_back(p);
-
-  if (p.found()) {
-    ++consecutive_hits_;
-    last_period_ = p.period();
-  } else {
-    consecutive_hits_ = 0;
-  }
+  record_online_result(state_, p);
   return p;
 }
 
-std::vector<FrequencyInterval> OnlinePredictor::merged_intervals() const {
+std::vector<FrequencyInterval> merge_predictions(
+    std::span<const Prediction> history) {
   std::vector<FrequencyInterval> intervals;
   std::vector<double> freqs;
   double eps = 0.0;
-  for (const auto& p : history_) {
+  for (const auto& p : history) {
     const double window = p.window_end - p.window_start;
     if (window > 0.0) eps = std::max(eps, 1.0 / window);
     if (p.found()) freqs.push_back(*p.frequency);
@@ -107,7 +120,7 @@ std::vector<FrequencyInterval> OnlinePredictor::merged_intervals() const {
   int max_label = -1;
   for (int l : labels) max_label = std::max(max_label, l);
 
-  const double total = static_cast<double>(history_.size());
+  const double total = static_cast<double>(history.size());
   for (int cluster = 0; cluster <= max_label; ++cluster) {
     FrequencyInterval iv;
     iv.low = 0.0;
@@ -134,6 +147,10 @@ std::vector<FrequencyInterval> OnlinePredictor::merged_intervals() const {
               return a.probability > b.probability;
             });
   return intervals;
+}
+
+std::vector<FrequencyInterval> OnlinePredictor::merged_intervals() const {
+  return merge_predictions(history_);
 }
 
 }  // namespace ftio::core

@@ -63,6 +63,35 @@ struct Prediction {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Building blocks shared by OnlinePredictor and engine::StreamingSession.
+// Both compose the same window-selection / bookkeeping / merge steps, so
+// the streaming session's predictions are bit-identical by construction.
+// ---------------------------------------------------------------------------
+
+/// Mutable state of the Sec. II-D window-selection rule.
+struct OnlineWindowState {
+  double window_start = 0.0;       ///< adaptive look-back anchor
+  std::size_t consecutive_hits = 0;
+  double last_period = 0.0;        ///< period of the latest detection
+};
+
+/// Selects the evaluation window [returned start, now] for the next
+/// prediction. Adaptation uses the *previous* period: the paper notes the
+/// k-th detection's result only becomes available to the following
+/// prediction (Fig. 15a discussion). Mutates state.window_start for the
+/// adaptive strategy.
+double select_online_window(const OnlineOptions& options,
+                            OnlineWindowState& state, double begin,
+                            double now);
+
+/// Records a finished evaluation: advances the hit streak and remembers
+/// the detected period for the next adaptive shrink.
+void record_online_result(OnlineWindowState& state, const Prediction& p);
+
+/// Builds the Prediction record of one FTIO evaluation made at `now`.
+Prediction prediction_from_result(const FtioResult& result, double now);
+
 /// A merged frequency interval with its occurrence probability
 /// (Sec. II-D: DBSCAN over stored predictions; "the number of predictions
 /// inside a cluster divided by the total number of predictions represents
@@ -74,6 +103,13 @@ struct FrequencyInterval {
   double probability = 0.0;  ///< cluster size / total predictions
   std::size_t count = 0;     ///< predictions in the cluster
 };
+
+/// Merges the dominant frequencies recorded in `history` into intervals
+/// with probabilities, using 1-D DBSCAN with eps = the coarsest frequency
+/// resolution among the evaluations (window-length differences change the
+/// bin spacing; Sec. II-D). Sorted by descending probability.
+std::vector<FrequencyInterval> merge_predictions(
+    std::span<const Prediction> history);
 
 /// Online period prediction (Sec. II-D): the application's tracer flushes
 /// request batches; each `ingest` + `predict` pair mirrors one evaluation
@@ -100,7 +136,7 @@ class OnlinePredictor {
   std::vector<FrequencyInterval> merged_intervals() const;
 
   /// The data window the *next* evaluation would use.
-  double current_window_start() const { return window_start_; }
+  double current_window_start() const { return state_.window_start; }
 
   /// Accumulated trace (all ingested requests).
   const ftio::trace::Trace& trace() const { return trace_; }
@@ -109,9 +145,7 @@ class OnlinePredictor {
   OnlineOptions options_;
   ftio::trace::Trace trace_;
   std::vector<Prediction> history_;
-  double window_start_ = 0.0;
-  std::size_t consecutive_hits_ = 0;
-  double last_period_ = 0.0;
+  OnlineWindowState state_;
 };
 
 }  // namespace ftio::core

@@ -1,0 +1,207 @@
+#include "engine/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ftio::engine {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+void validate_strategy(const ftio::core::OnlineOptions& options,
+                       ftio::core::WindowStrategy strategy) {
+  ftio::util::expect(strategy != ftio::core::WindowStrategy::kFixedLength ||
+                         options.fixed_window > 0.0,
+                     "StreamingSession: fixed_window must be positive");
+}
+
+}  // namespace
+
+StreamingSession::StreamingSession(StreamingOptions options)
+    : options_(std::move(options)), bandwidth_([this] {
+        ftio::trace::BandwidthOptions bw;
+        bw.kind = options_.online.base.kind;
+        return bw;
+      }()) {
+  ftio::util::expect(options_.online.adaptive_hits >= 1,
+                     "StreamingSession: adaptive_hits must be >= 1");
+  validate_strategy(options_.online, options_.online.strategy);
+  members_.reserve(options_.ensemble.size());
+  for (const auto strategy : options_.ensemble) {
+    validate_strategy(options_.online, strategy);
+    members_.push_back(Member{strategy, {}, {}});
+  }
+  member_caches_.resize(members_.size());
+  dirty_since_ = kInfinity;
+}
+
+void StreamingSession::ingest(
+    std::span<const ftio::trace::IoRequest> requests) {
+  for (const auto& r : requests) {
+    if (request_count_ == 0) {
+      begin_time_ = r.start;
+      end_time_ = r.end;
+    } else {
+      begin_time_ = std::min(begin_time_, r.start);
+      end_time_ = std::max(end_time_, r.end);
+    }
+    ++request_count_;
+    rank_count_ = std::max(rank_count_, r.rank + 1);
+    const double d = r.duration();
+    if (d > 0.0 && (min_request_duration_ == 0.0 ||
+                    d < min_request_duration_)) {
+      min_request_duration_ = d;
+    }
+  }
+  dirty_since_ = std::min(dirty_since_, bandwidth_.extend(requests));
+}
+
+void StreamingSession::ingest(const ftio::trace::Trace& chunk) {
+  if (app_.empty()) app_ = chunk.app;
+  rank_count_ = std::max(rank_count_, chunk.rank_count);
+  ingest(std::span<const ftio::trace::IoRequest>(chunk.requests));
+}
+
+double StreamingSession::derived_sampling_frequency() const {
+  if (!options_.online.auto_sampling_frequency) {
+    return options_.online.base.sampling_frequency;
+  }
+  return ftio::core::suggest_sampling_frequency(min_request_duration_,
+                                                options_.online.min_auto_fs,
+                                                options_.online.max_auto_fs);
+}
+
+std::size_t StreamingSession::clean_sample_prefix(
+    const SampleCache& cache, const ftio::core::AnalysisWindow& window) const {
+  // A cached sample is still valid when nothing it reads from the curve
+  // changed: point samples read value_at(t_i), bin averages additionally
+  // read one step ahead and clip the trailing bin at the previous window
+  // end. Everything strictly before that horizon is clean; one extra
+  // sample of slack absorbs the index arithmetic rounding.
+  double horizon = dirty_since_;
+  if (cache.mode == ftio::signal::SamplingMode::kBinAverage) {
+    horizon = std::min(horizon, cache.end);
+  }
+  if (horizon == kInfinity) return cache.count;
+  const double steps =
+      (horizon - window.start) * cache.fs -
+      (cache.mode == ftio::signal::SamplingMode::kBinAverage ? 2.0 : 1.0);
+  if (steps <= 0.0) return 0;
+  const auto clean = static_cast<std::size_t>(steps);
+  return std::min(clean, cache.count);
+}
+
+void StreamingSession::discretize_into_cache(
+    SampleCache& cache, const ftio::core::AnalysisWindow& window,
+    const ftio::core::FtioOptions& base) {
+  const double fs = base.sampling_frequency;
+  const auto mode = base.sampling_mode;
+  std::size_t first = 0;
+  if (cache.valid && cache.start == window.start && cache.fs == fs &&
+      cache.mode == mode && window.samples >= cache.count) {
+    first = clean_sample_prefix(cache, window);
+  }
+  ftio::core::discretize_window(bandwidth_.curve(), window, base, first,
+                                cache.samples);
+  cache.start = window.start;
+  cache.fs = fs;
+  cache.mode = mode;
+  cache.end = window.end;
+  cache.count = window.samples;
+  cache.valid = true;
+}
+
+ftio::core::Prediction StreamingSession::predict() {
+  ftio::util::expect(request_count_ > 0,
+                     "StreamingSession: no data ingested");
+  ftio::util::expect(!bandwidth_.curve().empty(),
+                     "StreamingSession: trace has no I/O requests");
+  const auto& curve = bandwidth_.curve();
+  const double now = end_time_;
+  const double begin = begin_time_;
+
+  ftio::core::FtioOptions base = options_.online.base;
+  base.window_end = now;
+  base.sampling_frequency = derived_sampling_frequency();
+
+  // Primary window: shared selection logic, then extend the cached sample
+  // vector — a full re-read of the window only happens when the grid
+  // moved (adaptive/fixed look-back) or the sampling setup changed.
+  const double primary_start =
+      select_online_window(options_.online, state_, begin, now);
+  ftio::core::FtioOptions primary_opts = base;
+  primary_opts.window_start = primary_start;
+  const ftio::core::AnalysisWindow primary_window =
+      ftio::core::select_analysis_window(curve, primary_opts);
+  discretize_into_cache(primary_cache_, primary_window, base);
+
+  // Ensemble windows: each member advances its own adaptive state and
+  // extends its own sample cache (growing members keep a stable grid
+  // anchor and reuse their clean prefix; moving look-back grids rebuild).
+  std::vector<ftio::core::AnalysisWindow> member_windows(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    ftio::core::OnlineOptions member_options = options_.online;
+    member_options.strategy = members_[i].strategy;
+    const double member_start = select_online_window(
+        member_options, members_[i].state, begin, now);
+    ftio::core::FtioOptions member_opts = base;
+    member_opts.window_start = member_start;
+    member_windows[i] =
+        ftio::core::select_analysis_window(curve, member_opts);
+    discretize_into_cache(member_caches_[i], member_windows[i], base);
+  }
+
+  // One batch through the engine: primary + ensemble share the warm plan
+  // cache and the worker pool.
+  std::vector<TraceView> views;
+  views.reserve(1 + members_.size());
+  views.push_back(
+      TraceView::of_samples(primary_cache_.samples, primary_window.start));
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    views.push_back(TraceView::of_samples(member_caches_[i].samples,
+                                          member_windows[i].start));
+  }
+  auto results = analyze_many(views, base, options_.engine);
+
+  ftio::core::finish_bandwidth_result(curve, primary_window,
+                                      primary_cache_.samples, base,
+                                      results[0]);
+  const ftio::core::Prediction p =
+      ftio::core::prediction_from_result(results[0], now);
+  history_.push_back(p);
+  ftio::core::record_online_result(state_, p);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const ftio::core::Prediction mp =
+        ftio::core::prediction_from_result(results[1 + i], now);
+    members_[i].history.push_back(mp);
+    ftio::core::record_online_result(members_[i].state, mp);
+  }
+  last_result_ = std::move(results[0]);
+  intervals_stale_ = true;
+  // Every cache consumed the dirty range above; fresh ingests restart it.
+  dirty_since_ = kInfinity;
+  return p;
+}
+
+const std::vector<ftio::core::Prediction>& StreamingSession::ensemble_history(
+    std::size_t i) const {
+  ftio::util::expect(i < members_.size(),
+                     "StreamingSession: ensemble index out of range");
+  return members_[i].history;
+}
+
+const std::vector<ftio::core::FrequencyInterval>&
+StreamingSession::merged_intervals() const {
+  if (intervals_stale_) {
+    intervals_ = ftio::core::merge_predictions(history_);
+    intervals_stale_ = false;
+  }
+  return intervals_;
+}
+
+}  // namespace ftio::engine

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ftio.hpp"
+#include "core/online.hpp"
+#include "engine/engine.hpp"
+#include "trace/model.hpp"
+
+namespace ftio::engine {
+
+/// Configuration of a StreamingSession.
+struct StreamingOptions {
+  /// The primary prediction loop (strategy, adaptation knobs, base FTIO
+  /// options) — same semantics as core::OnlinePredictor.
+  ftio::core::OnlineOptions online;
+  /// Additional window strategies evaluated next to the primary one on
+  /// every predict(). Each member keeps its own adaptive state and
+  /// history; all windows of one flush are discretised once and fanned
+  /// through analyze_many, so the whole ensemble shares the warm plan
+  /// cache and the worker pool.
+  std::vector<ftio::core::WindowStrategy> ensemble;
+  /// Fan-out knobs for the per-flush analyze_many batch.
+  EngineOptions engine;
+};
+
+/// Streaming online predictor: the ROADMAP's "streaming/online batching"
+/// layer. Behaves exactly like core::OnlinePredictor — the Prediction
+/// stream is bit-identical, enforced by sharing the window-selection,
+/// discretisation, and merge code — but keeps incremental state across
+/// flushes instead of re-running the offline pipeline on the whole trace:
+///
+///  - the bandwidth step-function is extended per ingest through
+///    trace::IncrementalBandwidth (only the curve suffix after the
+///    earliest new event is re-swept),
+///  - the discretised sample vector is extended per flush when the grid
+///    anchor is stable (growing windows): only samples at or after the
+///    earliest dirty time are re-read from the curve,
+///  - trace aggregates (begin/end time, minimum request duration for the
+///    automatic fs) are running values instead of per-flush scans,
+///  - merged_intervals() recomputes the DBSCAN merge only when new
+///    predictions arrived since the last call.
+///
+/// The ingested requests are folded into the sweep's event log (two
+/// endpoints per selected request) instead of being retained as a Trace,
+/// so per-flush cost is ~O(chunk + analysis window) instead of O(total
+/// trace) — see bench/micro_streaming.cpp for the trajectory. The event
+/// log itself still grows with the stream (the growing strategy can look
+/// back arbitrarily far); compacting events beyond the largest reachable
+/// look-back window is a ROADMAP follow-on.
+class StreamingSession {
+ public:
+  explicit StreamingSession(StreamingOptions options);
+
+  /// Appends freshly flushed requests, extending the incremental curve.
+  void ingest(std::span<const ftio::trace::IoRequest> requests);
+  void ingest(const ftio::trace::Trace& chunk);
+
+  /// Runs one evaluation of the primary strategy (plus every ensemble
+  /// member) over the current windows and records it. Returns the primary
+  /// Prediction — bit-identical to what core::OnlinePredictor::predict()
+  /// would return after the same ingest sequence. Throws InvalidArgument
+  /// when no data was ingested yet.
+  ftio::core::Prediction predict();
+
+  /// Primary predictions made so far, in order.
+  const std::vector<ftio::core::Prediction>& history() const {
+    return history_;
+  }
+
+  /// History of ensemble member `i`, index-aligned with
+  /// StreamingOptions::ensemble.
+  const std::vector<ftio::core::Prediction>& ensemble_history(
+      std::size_t i) const;
+
+  /// Full result of the latest primary evaluation (abstraction error and
+  /// metrics included, like the offline detect()).
+  const ftio::core::FtioResult& last_result() const { return last_result_; }
+
+  /// Merged frequency intervals of the primary history (Sec. II-D);
+  /// cached between predictions.
+  const std::vector<ftio::core::FrequencyInterval>& merged_intervals() const;
+
+  /// The incrementally maintained application-level bandwidth curve —
+  /// bit-identical to trace::bandwidth_signal over all ingested requests.
+  const ftio::signal::StepFunction& bandwidth() const {
+    return bandwidth_.curve();
+  }
+
+  /// The data window the *next* primary evaluation would use.
+  double current_window_start() const { return state_.window_start; }
+
+  // Running trace aggregates (the requests themselves are not stored).
+  std::size_t request_count() const { return request_count_; }
+  double begin_time() const { return begin_time_; }
+  double end_time() const { return end_time_; }
+  const std::string& app() const { return app_; }
+  int rank_count() const { return rank_count_; }
+
+ private:
+  struct Member {
+    ftio::core::WindowStrategy strategy;
+    ftio::core::OnlineWindowState state;
+    std::vector<ftio::core::Prediction> history;
+  };
+
+  /// Incrementally extended discretisation of one evaluation window.
+  /// Reused whenever the grid (anchor, fs, mode) is unchanged — stable
+  /// for growing windows, where a full re-read would be O(total trace) —
+  /// and rebuilt from scratch when the look-back anchor moved.
+  struct SampleCache {
+    std::vector<double> samples;
+    double start = 0.0;
+    double fs = 0.0;
+    double end = 0.0;
+    std::size_t count = 0;
+    ftio::signal::SamplingMode mode =
+        ftio::signal::SamplingMode::kPointSample;
+    bool valid = false;
+  };
+
+  double derived_sampling_frequency() const;
+  std::size_t clean_sample_prefix(
+      const SampleCache& cache,
+      const ftio::core::AnalysisWindow& window) const;
+  void discretize_into_cache(SampleCache& cache,
+                             const ftio::core::AnalysisWindow& window,
+                             const ftio::core::FtioOptions& base);
+
+  StreamingOptions options_;
+  trace::IncrementalBandwidth bandwidth_;
+  ftio::core::OnlineWindowState state_;
+  std::vector<ftio::core::Prediction> history_;
+  std::vector<Member> members_;
+  ftio::core::FtioResult last_result_;
+
+  // Running aggregates over every ingested request (pre-filter, matching
+  // Trace::begin_time / end_time / suggest_sampling_frequency).
+  std::size_t request_count_ = 0;
+  double begin_time_ = 0.0;
+  double end_time_ = 0.0;
+  double min_request_duration_ = 0.0;
+  std::string app_;
+  int rank_count_ = 0;
+
+  // Incremental discretisation caches: primary window + one per member.
+  SampleCache primary_cache_;
+  std::vector<SampleCache> member_caches_;
+  /// Earliest curve time changed by ingests since the last predict().
+  double dirty_since_ = 0.0;
+
+  // Cached DBSCAN merge of the primary history.
+  mutable std::vector<ftio::core::FrequencyInterval> intervals_;
+  mutable bool intervals_stale_ = false;
+};
+
+}  // namespace ftio::engine

@@ -56,8 +56,13 @@ CosineWave wave_for_bin(const Spectrum& spectrum, std::size_t k) {
   const double n = static_cast<double>(spectrum.total_samples);
   CosineWave w;
   w.frequency = spectrum.frequencies[k];
-  // Eq. (1): DC contributes X_0/N; other bins contribute 2|X_k|/N.
-  w.amplitude = (k == 0 ? 1.0 : 2.0) * spectrum.amplitudes[k] / n;
+  // Eq. (1): DC contributes X_0/N; interior bins contribute 2|X_k|/N. The
+  // Nyquist bin of an even-length transform has no conjugate twin in the
+  // single-sided half, so like DC it is not doubled.
+  const bool has_twin =
+      k > 0 && !(spectrum.total_samples % 2 == 0 &&
+                 k == spectrum.total_samples / 2);
+  w.amplitude = (has_twin ? 2.0 : 1.0) * spectrum.amplitudes[k] / n;
   w.phase = spectrum.phases[k];
   return w;
 }

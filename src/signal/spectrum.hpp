@@ -12,7 +12,9 @@ namespace ftio::signal {
 /// conventions of Sec. II-B1:
 ///  - bins k in [0, N/2] with frequencies f_k = k * fs / N,
 ///  - amplitude |X_k| (the DC bin X_0 is kept unscaled; callers that
-///    reconstruct with Eq. (1) double the non-DC amplitudes),
+///    reconstruct with Eq. (1) double the amplitudes that have a
+///    conjugate twin, i.e. everything except DC and the even-N Nyquist
+///    bin),
 ///  - power p_k = |X_k|^2 / N,
 ///  - normalised power = p_k / total power (the plotted y-axis in the
 ///    paper's spectra).

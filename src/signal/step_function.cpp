@@ -63,6 +63,27 @@ double StepFunction::max_value() const {
   return *std::max_element(values_.begin(), values_.end());
 }
 
+void StepFunction::splice_tail(std::size_t keep_boundaries,
+                               std::span<const double> new_times,
+                               std::span<const double> new_values) {
+  ftio::util::expect(keep_boundaries <= times_.size(),
+                     "StepFunction::splice_tail: keep_boundaries too large");
+  times_.resize(keep_boundaries);
+  // Every kept boundary except a final one starts a kept segment.
+  values_.resize(std::min(keep_boundaries, values_.size()));
+  times_.insert(times_.end(), new_times.begin(), new_times.end());
+  values_.insert(values_.end(), new_values.begin(), new_values.end());
+  ftio::util::expect(times_.size() == values_.size() + 1,
+                     "StepFunction::splice_tail: times/values size mismatch");
+  const std::size_t first_new =
+      keep_boundaries > 0 ? keep_boundaries : 1;
+  for (std::size_t i = first_new; i < times_.size(); ++i) {
+    ftio::util::expect(times_[i] > times_[i - 1],
+                       "StepFunction::splice_tail: times must stay "
+                       "strictly increasing");
+  }
+}
+
 DiscretizedSignal discretize(const StepFunction& f, double fs,
                              SamplingMode mode) {
   ftio::util::expect(fs > 0.0, "discretize: fs must be positive");

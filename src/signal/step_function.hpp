@@ -39,6 +39,17 @@ class StepFunction {
   /// Largest value over the support (0 for an empty function).
   double max_value() const;
 
+  /// Replaces the tail of the function: keeps the first `keep_boundaries`
+  /// boundary times (and every segment value whose start boundary is
+  /// kept), then appends `new_times` / `new_values`. The appended tail
+  /// must restore the invariants — strictly increasing times and
+  /// times.size() == values.size() + 1 — or the call throws. Used by
+  /// trace::IncrementalBandwidth to extend the bandwidth curve in place;
+  /// cost is O(tail), not O(total support).
+  void splice_tail(std::size_t keep_boundaries,
+                   std::span<const double> new_times,
+                   std::span<const double> new_values);
+
  private:
   std::vector<double> times_;
   std::vector<double> values_;

@@ -5,7 +5,9 @@
 #include <numbers>
 
 #include "signal/fft.hpp"
+#include "signal/plan.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace ftio::signal {
@@ -37,20 +39,31 @@ std::vector<double> CwtResult::dominant_frequency_over_time() const {
 }
 
 CwtResult morlet_cwt(std::span<const double> samples, double fs,
-                     std::span<const double> frequencies, double omega0) {
+                     std::span<const double> frequencies, double omega0,
+                     unsigned threads) {
   ftio::util::expect(!samples.empty(), "morlet_cwt: empty signal");
   ftio::util::expect(fs > 0.0, "morlet_cwt: fs must be positive");
   ftio::util::expect(!frequencies.empty(), "morlet_cwt: no frequencies");
   ftio::util::expect(omega0 > 0.0, "morlet_cwt: omega0 must be positive");
+  for (double f : frequencies) {
+    ftio::util::expect(f > 0.0, "morlet_cwt: frequencies must be positive");
+  }
 
   const std::size_t n = samples.size();
   const std::size_t padded = next_power_of_two(2 * n);
 
-  // Mean-removed, zero-padded signal spectrum (computed once).
+  // One shared plan serves the forward transform and every per-scale
+  // inverse; the handle keeps the tables alive across calls even if the
+  // cache evicts them.
+  const auto plan = get_plan(padded);
+
+  // Mean-removed, zero-padded signal spectrum (computed once, through the
+  // plan's half-size real-input fast path).
   const double mean = ftio::util::mean(samples);
-  std::vector<Complex> x(padded, Complex(0.0, 0.0));
-  for (std::size_t i = 0; i < n; ++i) x[i] = Complex(samples[i] - mean, 0.0);
-  const auto x_hat = fft(x);
+  std::vector<double> x(padded, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = samples[i] - mean;
+  std::vector<Complex> x_hat(padded);
+  plan->forward_real(x, x_hat);
 
   CwtResult result;
   result.sampling_frequency = fs;
@@ -66,36 +79,77 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
     omega[k] = 2.0 * std::numbers::pi * f * fs / static_cast<double>(padded);
   }
 
-  for (std::size_t fi = 0; fi < frequencies.size(); ++fi) {
-    ftio::util::expect(frequencies[fi] > 0.0,
-                       "morlet_cwt: frequencies must be positive");
-    // Morlet: psi_hat(s*w) = pi^{-1/4} exp(-(s*w - omega0)^2 / 2), analytic
-    // (zero for negative frequencies). Scale from pseudo-frequency:
-    // f = omega0 / (2*pi*s)  =>  s = omega0 / (2*pi*f).
-    const double scale =
-        omega0 / (2.0 * std::numbers::pi * frequencies[fi]);
-    const double norm = std::pow(std::numbers::pi, -0.25) *
-                        std::sqrt(2.0 * std::numbers::pi * scale * fs /
-                                  static_cast<double>(padded) *
-                                  static_cast<double>(padded));
+  // Rows are independent: fan them across workers; the windowed-product
+  // and coefficient buffers are per-thread scratch reused across rows (and
+  // across calls), so the hot loop does no allocation.
+  ftio::util::parallel_for(
+      frequencies.size(),
+      [&](std::size_t fi) {
+        // Morlet: psi_hat(s*w) = pi^{-1/4} exp(-(s*w - omega0)^2 / 2),
+        // analytic (zero for negative frequencies). Scale from
+        // pseudo-frequency: f = omega0 / (2*pi*s) => s = omega0 / (2*pi*f).
+        const double scale =
+            omega0 / (2.0 * std::numbers::pi * frequencies[fi]);
+        // L2 normalisation (Torrence & Compo 1998, Eq. 6): the factor
+        // sqrt(2*pi*scale*fs) gives every daughter wavelet unit discrete
+        // energy, sum_k |psi_hat(s*w_k)|^2 = padded.
+        const double norm =
+            std::pow(std::numbers::pi, -0.25) *
+            std::sqrt(2.0 * std::numbers::pi * scale * fs);
 
-    std::vector<Complex> product(padded);
-    for (std::size_t k = 0; k < padded; ++k) {
-      if (omega[k] <= 0.0) {
-        product[k] = Complex(0.0, 0.0);
-        continue;
-      }
-      const double arg = scale * omega[k] - omega0;
-      const double window = norm * std::exp(-0.5 * arg * arg);
-      product[k] = x_hat[k] * window;
-    }
-    const auto coefficients = ifft(product);
-    auto& row = result.power[fi];
-    row.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      row[i] = std::norm(coefficients[i]);
-    }
-  }
+        thread_local std::vector<Complex> product;
+        thread_local std::vector<Complex> coefficients;
+        product.assign(padded, Complex(0.0, 0.0));
+        coefficients.resize(padded);
+
+        // The analytic wavelet lives on the positive-frequency bins
+        // k in [1, padded/2], and the Gaussian underflows to exactly 0
+        // once |scale*w - omega0| exceeds ~39 (exp(-745) is the smallest
+        // positive double), so only the bins inside that band need the
+        // exp at all — for low pseudo-frequencies that is a small
+        // fraction of the spectrum.
+        constexpr double kGaussianCut = 40.0;
+        const double bins_per_omega =
+            static_cast<double>(padded) / (2.0 * std::numbers::pi * fs);
+        const std::size_t half = padded / 2;
+        // Clamp in double before narrowing: extreme pseudo-frequencies
+        // make these bin counts overflow size_t otherwise.
+        const double half_bins = static_cast<double>(half);
+        std::size_t k_lo = 1;
+        if (omega0 > kGaussianCut) {
+          const double lo_bins =
+              std::ceil((omega0 - kGaussianCut) / scale * bins_per_omega);
+          k_lo = lo_bins <= 1.0
+                     ? 1
+                     : static_cast<std::size_t>(
+                           std::min(lo_bins, half_bins + 1.0));
+        }
+        const double hi_bins =
+            std::floor((omega0 + kGaussianCut) / scale * bins_per_omega);
+        const std::size_t k_hi =
+            hi_bins <= 0.0 ? 0
+                           : static_cast<std::size_t>(
+                                 std::min(hi_bins, half_bins));
+        for (std::size_t k = k_lo; k <= k_hi; ++k) {
+          const double arg = scale * omega[k] - omega0;
+          const double window = norm * std::exp(-0.5 * arg * arg);
+          product[k] = x_hat[k] * window;
+        }
+        plan->inverse(product, coefficients);
+
+        // Scalogram power, rectified by 1/scale (Liu et al. 2007): under
+        // the L2 normalisation alone |W|^2 of a pure tone grows with the
+        // matched scale, biasing every row comparison toward low
+        // frequencies; dividing by the scale makes equal-amplitude tones
+        // produce equal power whichever row they match.
+        auto& row = result.power[fi];
+        row.resize(n);
+        const double rectify = 1.0 / scale;
+        for (std::size_t i = 0; i < n; ++i) {
+          row[i] = std::norm(coefficients[i]) * rectify;
+        }
+      },
+      threads);
   return result;
 }
 
@@ -111,9 +165,12 @@ std::vector<double> log_spaced_frequencies(double lo, double hi,
   return out;
 }
 
-std::size_t strongest_change_point(const CwtResult& cwt, std::size_t window) {
+std::optional<std::size_t> strongest_change_point(const CwtResult& cwt,
+                                                  std::size_t window) {
   const std::size_t n = cwt.time_steps();
-  if (n < 2 * window + 1 || window == 0 || cwt.power.empty()) return 0;
+  if (n < 2 * window + 1 || window == 0 || cwt.power.empty()) {
+    return std::nullopt;
+  }
   const auto dominant = cwt.dominant_frequency_over_time();
 
   // Compare median dominant frequency left vs right of each centre.
@@ -136,7 +193,8 @@ std::size_t strongest_change_point(const CwtResult& cwt, std::size_t window) {
     }
   }
   // Only report a genuine shift (> ~15% frequency ratio).
-  return best_shift > 0.14 ? best : 0;
+  if (best_shift > 0.14) return best;
+  return std::nullopt;
 }
 
 }  // namespace ftio::signal

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -83,18 +83,56 @@ bool request_selected(const IoRequest& r, const BandwidthOptions& options) {
   return true;
 }
 
+/// Sweeps sorted events[from..), continuing the prefix sum from running
+/// level `level`: appends one boundary per distinct event time to `times`
+/// (with the unclamped level after its deltas to `raw_levels`, when
+/// given), and the clamped segment value for every boundary except the
+/// final one to `values`. The left-to-right accumulation order is exactly
+/// the full sweep's, so restarting from a cached level reproduces the
+/// full rebuild bit for bit. Returns the final running level.
+double sweep_tail(std::span<const BandwidthEvent> events, std::size_t from,
+                  double level, std::vector<double>& times,
+                  std::vector<double>& values,
+                  std::vector<double>* raw_levels) {
+  std::size_t ev = from;
+  while (ev < events.size()) {
+    const double t = events[ev].time;
+    while (ev < events.size() && events[ev].time == t) {
+      level += events[ev].delta;
+      ++ev;
+    }
+    times.push_back(t);
+    if (raw_levels != nullptr) raw_levels->push_back(level);
+    // The final boundary closes the support; it has no following segment.
+    if (ev < events.size()) values.push_back(std::max(level, 0.0));
+  }
+  return level;
+}
+
 ftio::signal::StepFunction sweep(const Trace& trace,
                                  const BandwidthOptions& options,
                                  std::optional<int> only_rank) {
   // Event sweep: +bw at request start, -bw at request end; prefix-summing
   // the sorted events yields the piecewise-constant aggregate bandwidth.
-  struct Event {
-    double time;
-    double delta;
-  };
-  std::vector<Event> events;
+  std::vector<BandwidthEvent> events;
   events.reserve(trace.requests.size() * 2);
-  for (const auto& r : trace.requests) {
+  append_bandwidth_events(trace.requests, options, only_rank, events);
+  std::sort(events.begin(), events.end(), bandwidth_event_less);
+  return bandwidth_from_events(events);
+}
+
+}  // namespace
+
+bool bandwidth_event_less(const BandwidthEvent& a, const BandwidthEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.delta < b.delta;
+}
+
+void append_bandwidth_events(std::span<const IoRequest> requests,
+                             const BandwidthOptions& options,
+                             std::optional<int> only_rank,
+                             std::vector<BandwidthEvent>& events) {
+  for (const auto& r : requests) {
     if (only_rank && r.rank != *only_rank) continue;
     if (!request_selected(r, options)) continue;
     double start = r.start;
@@ -107,34 +145,73 @@ ftio::signal::StepFunction sweep(const Trace& trace,
     events.push_back({start, bw});
     events.push_back({end, -bw});
   }
+}
+
+ftio::signal::StepFunction bandwidth_from_events(
+    std::span<const BandwidthEvent> events) {
   if (events.empty()) return {};
-
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.time < b.time; });
-
   // Distinct event times are the segment boundaries; the value of segment
   // [times[i], times[i+1]) is the running level after applying all deltas
   // at times[i].
   std::vector<double> times;
   times.reserve(events.size() + 1);
-  for (const auto& e : events) {
-    if (times.empty() || times.back() != e.time) times.push_back(e.time);
-  }
   std::vector<double> seg_values;
-  seg_values.reserve(times.size() - 1);
-  double level = 0.0;
-  std::size_t ev = 0;
-  for (std::size_t b = 0; b + 1 < times.size(); ++b) {
-    while (ev < events.size() && events[ev].time == times[b]) {
-      level += events[ev].delta;
-      ++ev;
-    }
-    seg_values.push_back(std::max(level, 0.0));
-  }
+  seg_values.reserve(events.size());
+  sweep_tail(events, 0, 0.0, times, seg_values, nullptr);
   return ftio::signal::StepFunction(std::move(times), std::move(seg_values));
 }
 
-}  // namespace
+IncrementalBandwidth::IncrementalBandwidth(BandwidthOptions options)
+    : options_(std::move(options)) {}
+
+double IncrementalBandwidth::extend(std::span<const IoRequest> requests) {
+  std::vector<BandwidthEvent> fresh;
+  fresh.reserve(requests.size() * 2);
+  append_bandwidth_events(requests, options_, std::nullopt, fresh);
+  if (fresh.empty()) return std::numeric_limits<double>::infinity();
+  std::sort(fresh.begin(), fresh.end(), bandwidth_event_less);
+  const double dirty = fresh.front().time;
+
+  const std::size_t old_count = events_.size();
+  events_.insert(events_.end(), fresh.begin(), fresh.end());
+  if (old_count > 0 &&
+      bandwidth_event_less(events_[old_count], events_[old_count - 1])) {
+    // Only a chunk reaching back into already-swept time needs the merge;
+    // the dominant in-order flush is a pure append and stays O(chunk).
+    std::inplace_merge(
+        events_.begin(),
+        events_.begin() + static_cast<std::ptrdiff_t>(old_count),
+        events_.end(), bandwidth_event_less);
+  }
+
+  // Everything strictly before the earliest new event is untouched: keep
+  // those boundaries (and the running level after the last of them), drop
+  // the rest, and re-sweep from the first event at or after `dirty`.
+  const auto boundaries = curve_.times();
+  const std::size_t keep = static_cast<std::size_t>(
+      std::lower_bound(boundaries.begin(), boundaries.end(), dirty) -
+      boundaries.begin());
+  const std::size_t from = static_cast<std::size_t>(
+      std::lower_bound(events_.begin(), events_.end(), dirty,
+                       [](const BandwidthEvent& e, double t) {
+                         return e.time < t;
+                       }) -
+      events_.begin());
+  const double level = keep > 0 ? raw_levels_[keep - 1] : 0.0;
+  raw_levels_.resize(keep);
+
+  std::vector<double> tail_times;
+  std::vector<double> tail_values;
+  if (keep == boundaries.size() && keep > 0) {
+    // Pure append beyond the old support: the old final boundary becomes
+    // interior, so emit its (previously unstored) segment value first —
+    // the clamp of the cached level, exactly what a full sweep stores.
+    tail_values.push_back(std::max(level, 0.0));
+  }
+  sweep_tail(events_, from, level, tail_times, tail_values, &raw_levels_);
+  curve_.splice_tail(keep, tail_times, tail_values);
+  return dirty;
+}
 
 ftio::signal::StepFunction bandwidth_signal(const Trace& trace,
                                             const BandwidthOptions& options) {

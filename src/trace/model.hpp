@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,58 @@ struct BandwidthOptions {
   /// Restrict to requests overlapping [window_start, window_end].
   std::optional<double> window_start;
   std::optional<double> window_end;
+};
+
+/// One endpoint of the bandwidth event sweep: +bw at a request's start,
+/// -bw at its end. Events are ordered by (time, delta) — the tie-break
+/// makes the prefix sums, and therefore the floating-point rounding of
+/// the resulting curve, independent of request ingestion order.
+struct BandwidthEvent {
+  double time = 0.0;
+  double delta = 0.0;
+};
+
+/// Strict weak ordering of sweep events (time, then delta).
+bool bandwidth_event_less(const BandwidthEvent& a, const BandwidthEvent& b);
+
+/// Appends the sweep events of `requests` — filtered and window-clipped
+/// per `options`, optionally restricted to one rank — to `events`.
+/// Does not sort.
+void append_bandwidth_events(std::span<const IoRequest> requests,
+                             const BandwidthOptions& options,
+                             std::optional<int> only_rank,
+                             std::vector<BandwidthEvent>& events);
+
+/// Builds the piecewise-constant curve from events sorted by
+/// bandwidth_event_less. Shared by bandwidth_signal and the streaming
+/// engine's IncrementalBandwidth so both produce bit-identical curves.
+ftio::signal::StepFunction bandwidth_from_events(
+    std::span<const BandwidthEvent> events);
+
+/// Incrementally maintained bandwidth_signal: extend() merges the events
+/// of a freshly flushed request chunk and re-sweeps only the curve suffix
+/// the new events can affect, so a stream of appended flushes costs
+/// O(chunk) each instead of O(total trace). curve() is bit-identical to
+/// bandwidth_signal over the union of all extended requests (the sweep
+/// restarts from the cached running level, replaying the exact summation
+/// order a full rebuild would use).
+class IncrementalBandwidth {
+ public:
+  explicit IncrementalBandwidth(BandwidthOptions options = {});
+
+  /// Merges the chunk's events into the curve. Returns the earliest time
+  /// whose curve value may have changed, or +infinity when the chunk
+  /// contributed no events (all filtered out).
+  double extend(std::span<const IoRequest> requests);
+
+  const ftio::signal::StepFunction& curve() const { return curve_; }
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  BandwidthOptions options_;
+  std::vector<BandwidthEvent> events_;   ///< sorted by bandwidth_event_less
+  std::vector<double> raw_levels_;       ///< unclamped level per boundary
+  ftio::signal::StepFunction curve_;
 };
 
 /// Computes the application-level bandwidth-over-time curve by overlapping

@@ -92,11 +92,15 @@ double max_value(std::span<const double> values) {
 std::vector<double> z_scores(std::span<const double> values) {
   std::vector<double> scores(values.size(), 0.0);
   if (values.empty()) return scores;
-  const double m = std::abs(mean(values));
+  // Standard score (v - mean) / sigma with population sigma. Callers that
+  // want one-sided high outliers (Eq. 2 over the non-DC spectral powers,
+  // zscore_outliers) threshold on > t, so no absolute values are taken —
+  // they would be wrong for any mixed-sign input.
+  const double m = mean(values);
   const double s = stddev(values);
   if (s == 0.0) return scores;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    scores[i] = (std::abs(values[i]) - m) / s;
+    scores[i] = (values[i] - m) / s;
   }
   return scores;
 }

@@ -41,8 +41,8 @@ double geometric_mean(std::span<const double> values);
 double min_value(std::span<const double> values);
 double max_value(std::span<const double> values);
 
-/// Z-scores per Eq. (2) of the paper: z_k = (|p_k| - |mean|) / sigma.
-/// A zero standard deviation yields all-zero scores.
+/// Z-scores per Eq. (2) of the paper: z_k = (p_k - mean) / sigma, with the
+/// population sigma. A zero standard deviation yields all-zero scores.
 std::vector<double> z_scores(std::span<const double> values);
 
 /// Five-number summary with 1.5*IQR whiskers, as used by the paper's

@@ -109,6 +109,34 @@ TEST(Spectrum, ReconstructionMatchesEq1) {
   }
 }
 
+TEST(Spectrum, EvenLengthNyquistRoundTripIsExact) {
+  // Energy exactly at the Nyquist bin: x alternates sign each sample. For
+  // even N the Nyquist bin, like DC, has no conjugate twin, so Eq. (1)
+  // must not double it — the round trip is then exact to rounding.
+  const double fs = 4.0;
+  const std::size_t n = 32;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 5.0 + std::cos(2.0 * std::numbers::pi * 0.5 * t) +
+           0.7 * std::cos(2.0 * std::numbers::pi * 2.0 * t);  // fs/2 tone
+  }
+  const auto s = sig::compute_spectrum(x, fs);
+  ASSERT_EQ(s.frequencies.size(), n / 2 + 1);
+  std::vector<sig::CosineWave> waves;
+  for (std::size_t k = 1; k < s.frequencies.size(); ++k) {
+    waves.push_back(sig::wave_for_bin(s, k));
+  }
+  // The Nyquist wave carries the bare |X_k|/N amplitude.
+  EXPECT_NEAR(waves.back().amplitude, 0.7, 1e-9);
+  const double dc = sig::wave_for_bin(s, 0).amplitude *
+                    std::cos(sig::wave_for_bin(s, 0).phase);
+  const auto rebuilt = sig::synthesize(waves, dc, fs, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rebuilt[i], x[i], 1e-12) << "sample " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // StepFunction
 // ---------------------------------------------------------------------------

@@ -122,12 +122,37 @@ TEST(Stats, MinMax) {
 }
 
 TEST(Stats, ZScoresMatchEq2) {
-  // Eq. (2): z_k = (|p_k| - |mean|) / sigma with population sigma.
+  // Eq. (2): z_k = (p_k - mean) / sigma with population sigma.
   const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   const auto z = u::z_scores(v);
   ASSERT_EQ(z.size(), v.size());
   EXPECT_NEAR(z[0], (2.0 - 5.0) / 2.0, 1e-12);
   EXPECT_NEAR(z[7], (9.0 - 5.0) / 2.0, 1e-12);
+}
+
+TEST(Stats, ZScoresMixedSignReference) {
+  // Hand-computed reference: mean 0, population sigma 2. Absolute-value
+  // variants would score the -3 as a *high* outlier; the standard score
+  // must keep it low.
+  const std::vector<double> v{-3.0, -1.0, 0.0, 1.0, 3.0};
+  const auto z = u::z_scores(v);
+  ASSERT_EQ(z.size(), 5u);
+  EXPECT_NEAR(z[0], -1.5, 1e-12);
+  EXPECT_NEAR(z[1], -0.5, 1e-12);
+  EXPECT_NEAR(z[2], 0.0, 1e-12);
+  EXPECT_NEAR(z[3], 0.5, 1e-12);
+  EXPECT_NEAR(z[4], 1.5, 1e-12);
+}
+
+TEST(Stats, ZScoresShiftInvariant) {
+  // (v - mean) / sigma is invariant under adding a constant — including a
+  // shift that flips the sign of part of the data.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 10.0};
+  std::vector<double> shifted(v);
+  for (double& x : shifted) x -= 5.0;
+  const auto z1 = u::z_scores(v);
+  const auto z2 = u::z_scores(shifted);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(z1[i], z2[i], 1e-12);
 }
 
 TEST(Stats, ZScoresOfConstantAreZero) {
