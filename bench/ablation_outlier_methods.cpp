@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "outlier/outlier.hpp"
 #include "semisweep.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -60,6 +61,34 @@ int main(int argc, char** argv) {
                 ftio::outlier::method_name(method), detected, traces,
                 errors.empty() ? 100.0 : 100.0 * ftio::util::median(errors),
                 1e3 * seconds / static_cast<double>(traces));
+  }
+
+  // Standalone outlier-step cost: each detector over a spectrum-sized
+  // power array (baseline noise + periodic spikes), isolated from the
+  // rest of the pipeline. This is the loop the per-call-scratch fixes
+  // (isolation-forest in-place descent, LOF flat neighbour buffer)
+  // target, so regressions show up here first.
+  std::printf("\n%-18s %-14s  (detector only, %zu-bin power array)\n",
+              "method", "time/call", std::size_t{4096});
+  ftio::util::Rng rng(args.seed);
+  std::vector<double> powers(4096);
+  for (auto& p : powers) p = rng.uniform(0.9, 1.1);
+  for (std::size_t i = 64; i < powers.size(); i += 512) powers[i] = 40.0;
+  for (const auto method : methods) {
+    ftio::outlier::DetectOptions opts;
+    // Repeat enough for a stable figure; the forest dominates the budget.
+    const std::size_t reps =
+        method == ftio::outlier::Method::kIsolationForest ? 3 : 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto flags = ftio::outlier::detect(powers, method, opts);
+      if (flags.size() != powers.size()) return 1;  // keep the call alive
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%-18s %10.2f us\n", ftio::outlier::method_name(method),
+                1e6 * seconds / static_cast<double>(reps));
   }
   return 0;
 }

@@ -78,6 +78,59 @@ void BM_RfftPlanCached(benchmark::State& state) {
 }
 BENCHMARK(BM_RfftPlanCached)->Arg(4096)->Arg(7817);
 
+// --- split radix-4 half-spectrum core vs the pre-PR radix-2 scalar path ----
+// BM_RfftHalfPlanCached is the packed single-sided transform every
+// consumer now runs; BM_RfftRadix2Scalar reproduces the previous kernel
+// exactly (interleaved std::complex radix-2 butterflies via the reference
+// tables kept in signal/plan.hpp, pack/unpack identical to the old
+// forward_real) with all tables prebuilt, i.e. its best plan-cached case.
+// The acceptance ratio for the split core is Radix2Scalar / HalfPlanCached
+// at the power-of-two sizes.
+
+void BM_RfftHalfPlanCached(benchmark::State& state) {
+  const auto x = tone(static_cast<std::size_t>(state.range(0)));
+  std::vector<ftio::signal::Complex> out(x.size() / 2 + 1);
+  for (auto _ : state) {
+    ftio::signal::rfft_half_into(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RfftHalfPlanCached)->Arg(4096)->Arg(1 << 16)->Arg(7817);
+
+void BM_RfftRadix2Scalar(benchmark::State& state) {
+  namespace sig = ftio::signal;
+  const auto x = tone(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = x.size();
+  const std::size_t h = n / 2;
+  // Warm tables, exactly what the pre-radix-4 plan owned for this path.
+  const sig::detail::Radix2Tables tables(h);
+  std::vector<sig::Complex> unpack(h + 1);
+  for (std::size_t k = 0; k <= h; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    unpack[k] = sig::Complex(std::cos(angle), std::sin(angle));
+  }
+  std::vector<sig::Complex> packed(h);
+  std::vector<sig::Complex> out(n);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < h; ++j) {
+      packed[j] = sig::Complex(x[2 * j], x[2 * j + 1]);
+    }
+    sig::detail::radix2_scalar(packed, tables, /*invert=*/false);
+    for (std::size_t k = 0; k <= h; ++k) {
+      const sig::Complex zk = packed[k % h];
+      const sig::Complex zmk = std::conj(packed[(h - k) % h]);
+      const sig::Complex even = 0.5 * (zk + zmk);
+      const sig::Complex odd = sig::Complex(0.0, -0.5) * (zk - zmk);
+      const sig::Complex xk = even + unpack[k] * odd;
+      out[k] = xk;
+      if (k > 0 && k < h) out[n - k] = std::conj(xk);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RfftRadix2Scalar)->Arg(4096)->Arg(1 << 16);
+
 void BM_RfftSeedColdPath(benchmark::State& state) {
   // The seed rfft: complexify the real signal, then run the full-size
   // complex transform with per-call tables (no half-size fast path).

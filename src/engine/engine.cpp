@@ -28,8 +28,11 @@ void warm_plans_for(std::span<const TraceView> views,
   for (std::size_t n : sizes) {
     ftio::signal::get_plan(n)->prepare(/*for_real_input=*/true);
     if (options.with_autocorrelation) {
-      // The ACF size is a power of two, so its plan has no lazy state.
-      ftio::signal::get_plan(ftio::signal::next_power_of_two(2 * n));
+      // The ACF runs the packed real path at the power-of-two
+      // convolution size, so its half-size sub-plan and unpack twiddles
+      // are the lazy state to pre-build.
+      ftio::signal::get_plan(ftio::signal::next_power_of_two(2 * n))
+          ->prepare(/*for_real_input=*/true);
     }
   }
 }

@@ -23,11 +23,12 @@ const char* method_name(Method method) {
 }
 
 std::vector<bool> zscore_outliers(std::span<const double> values,
-                                  double threshold) {
+                                  double threshold, bool two_sided) {
   const auto scores = ftio::util::z_scores(values);
   std::vector<bool> flags(values.size(), false);
   for (std::size_t i = 0; i < scores.size(); ++i) {
-    flags[i] = scores[i] > threshold;
+    flags[i] = two_sided ? std::abs(scores[i]) > threshold
+                         : scores[i] > threshold;
   }
   return flags;
 }
@@ -159,33 +160,36 @@ double average_path_length(std::size_t n) {
   return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
 }
 
-/// Recursively partitions `points` (a scratch vector) with random split
-/// values; accumulates the path length at which `query` would isolate.
+/// Partitions `points` (a scratch vector, clobbered) with random split
+/// values until `query` isolates; returns the path length. Iterative and
+/// allocation-free: each level shrinks `points` in place with remove_if
+/// instead of copying the surviving side into a fresh vector, so the only
+/// storage the whole descent touches is the caller's reusable scratch.
+/// The split sequence (one rng.uniform per level) and the surviving sets
+/// are identical to the old recursive copy-out implementation, so scores
+/// are bit-for-bit unchanged.
 double isolation_path(std::vector<double>& points, double query,
-                      ftio::util::Rng& rng, std::size_t depth,
-                      std::size_t max_depth) {
-  if (points.size() <= 1 || depth >= max_depth) {
-    return static_cast<double>(depth) + average_path_length(points.size());
-  }
-  const auto [lo_it, hi_it] = std::minmax_element(points.begin(), points.end());
-  const double lo = *lo_it;
-  const double hi = *hi_it;
-  if (lo == hi) {
-    return static_cast<double>(depth) + average_path_length(points.size());
-  }
-  const double split = rng.uniform(lo, hi);
-  std::vector<double> side;
-  side.reserve(points.size());
-  if (query < split) {
-    for (double v : points) {
-      if (v < split) side.push_back(v);
+                      ftio::util::Rng& rng, std::size_t max_depth) {
+  std::size_t depth = 0;
+  while (points.size() > 1 && depth < max_depth) {
+    const auto [lo_it, hi_it] =
+        std::minmax_element(points.begin(), points.end());
+    const double lo = *lo_it;
+    const double hi = *hi_it;
+    if (lo == hi) break;
+    const double split = rng.uniform(lo, hi);
+    if (query < split) {
+      points.erase(std::remove_if(points.begin(), points.end(),
+                                  [split](double v) { return v >= split; }),
+                   points.end());
+    } else {
+      points.erase(std::remove_if(points.begin(), points.end(),
+                                  [split](double v) { return v < split; }),
+                   points.end());
     }
-  } else {
-    for (double v : points) {
-      if (v >= split) side.push_back(v);
-    }
+    ++depth;
   }
-  return isolation_path(side, query, rng, depth + 1, max_depth);
+  return static_cast<double>(depth) + average_path_length(points.size());
 }
 
 }  // namespace
@@ -203,13 +207,19 @@ std::vector<double> isolation_forest_scores(
   ftio::util::Rng rng(options.seed);
   std::vector<double> mean_path(n, 0.0);
   std::vector<double> subsample(sample);
+  // One scratch for every (tree, query) descent: assign() reuses its
+  // capacity, so after the first query the per-call allocation count is
+  // zero (the ROADMAP-named per-call-scratch bug was a fresh vector per
+  // recursion level of every tree of every query).
+  std::vector<double> scratch;
+  scratch.reserve(sample);
   for (std::size_t t = 0; t < options.tree_count; ++t) {
     for (std::size_t i = 0; i < sample; ++i) {
       subsample[i] = values[rng.pick_index(n)];
     }
     for (std::size_t i = 0; i < n; ++i) {
-      std::vector<double> scratch = subsample;
-      mean_path[i] += isolation_path(scratch, values[i], rng, 0, max_depth);
+      scratch.assign(subsample.begin(), subsample.end());
+      mean_path[i] += isolation_path(scratch, values[i], rng, max_depth);
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -249,36 +259,45 @@ std::vector<double> local_outlier_factors(std::span<const double> values,
   std::vector<std::size_t> rank(n);
   for (std::size_t pos = 0; pos < n; ++pos) rank[order[pos]] = pos;
 
-  // k nearest neighbours of a scalar point lie in a contiguous sorted window.
-  auto knn_positions = [&](std::size_t pos) {
-    std::vector<std::size_t> nb;
-    nb.reserve(k);
+  // k nearest neighbours of a scalar point lie in a contiguous sorted
+  // window. Every point has exactly k of them (k <= n-1), so the
+  // neighbour lists live in one flat n*k buffer instead of n separately
+  // allocated vectors — the LOF cousin of the isolation-forest
+  // per-call-scratch fix.
+  std::vector<std::size_t> neighbors(n * k);
+  auto knn_of = [&](std::size_t pos) {
+    return std::span<const std::size_t>(neighbors.data() + pos * k, k);
+  };
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    std::size_t* nb = neighbors.data() + pos * k;
+    std::size_t count = 0;
     std::size_t left = pos;
     std::size_t right = pos + 1;
     const double v = values[order[pos]];
-    while (nb.size() < k) {
+    while (count < k) {
       const bool has_left = left > 0;
       const bool has_right = right < n;
-      if (!has_left && !has_right) break;
+      // k <= n-1, so the window can always grow until count reaches k;
+      // enforce that rather than breaking into zero-filled slots the
+      // fixed-k maths below would silently misread as point 0.
+      ftio::util::expect(has_left || has_right,
+                         "local_outlier_factors: neighbour shortfall");
       const double dl = has_left ? v - values[order[left - 1]] : 0.0;
       const double dr = has_right ? values[order[right]] - v : 0.0;
       if (has_left && (!has_right || dl <= dr)) {
-        nb.push_back(left - 1);
+        nb[count++] = left - 1;
         --left;
       } else {
-        nb.push_back(right);
+        nb[count++] = right;
         ++right;
       }
     }
-    return nb;
-  };
+  }
 
   std::vector<double> k_distance(n, 0.0);
-  std::vector<std::vector<std::size_t>> neighbors(n);
   for (std::size_t pos = 0; pos < n; ++pos) {
-    neighbors[pos] = knn_positions(pos);
     double dmax = 0.0;
-    for (std::size_t nb : neighbors[pos]) {
+    for (std::size_t nb : knn_of(pos)) {
       dmax = std::max(dmax, std::abs(values[order[pos]] - values[order[nb]]));
     }
     k_distance[pos] = dmax;
@@ -288,12 +307,12 @@ std::vector<double> local_outlier_factors(std::span<const double> values,
   std::vector<double> lrd(n, 0.0);
   for (std::size_t pos = 0; pos < n; ++pos) {
     double reach_sum = 0.0;
-    for (std::size_t nb : neighbors[pos]) {
+    for (std::size_t nb : knn_of(pos)) {
       const double d = std::abs(values[order[pos]] - values[order[nb]]);
       reach_sum += std::max(k_distance[nb], d);
     }
     lrd[pos] = reach_sum > 0.0
-                   ? static_cast<double>(neighbors[pos].size()) / reach_sum
+                   ? static_cast<double>(k) / reach_sum
                    : std::numeric_limits<double>::infinity();
   }
 
@@ -303,14 +322,12 @@ std::vector<double> local_outlier_factors(std::span<const double> values,
       continue;
     }
     double ratio_sum = 0.0;
-    for (std::size_t nb : neighbors[pos]) {
+    for (std::size_t nb : knn_of(pos)) {
       ratio_sum += std::isfinite(lrd[nb])
                        ? lrd[nb] / lrd[pos]
                        : 1.0;  // neighbour in a dense tie: neutral ratio
     }
-    lof[order[pos]] = neighbors[pos].empty()
-                          ? 1.0
-                          : ratio_sum / static_cast<double>(neighbors[pos].size());
+    lof[order[pos]] = ratio_sum / static_cast<double>(k);
   }
   return lof;
 }
@@ -334,7 +351,8 @@ std::vector<bool> detect(std::span<const double> values, Method method,
                          const DetectOptions& options) {
   switch (method) {
     case Method::kZScore:
-      return zscore_outliers(values, options.zscore_threshold);
+      return zscore_outliers(values, options.zscore_threshold,
+                             options.zscore_two_sided);
     case Method::kDbscan: {
       double eps = options.dbscan_eps;
       if (eps <= 0.0 && values.size() >= 2) {

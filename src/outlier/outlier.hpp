@@ -25,9 +25,16 @@ const char* method_name(Method method);
 // Z-score
 // ---------------------------------------------------------------------------
 
-/// Flags values whose Z-score (Eq. (2)) exceeds `threshold` (paper default 3).
+/// Flags values whose Z-score (Eq. (2)) exceeds `threshold` (paper default
+/// 3). The default is one-sided (z > threshold): the Eq. (2) use case
+/// flags anomalously *high* spectral powers, and low-side bins are never
+/// outliers of interest there. Pass two_sided = true to flag |z| >
+/// threshold instead — required for mixed-sign data (residuals, deltas)
+/// where anomalously *low* values matter too; the one-sided default
+/// silently ignores them.
 std::vector<bool> zscore_outliers(std::span<const double> values,
-                                  double threshold = 3.0);
+                                  double threshold = 3.0,
+                                  bool two_sided = false);
 
 // ---------------------------------------------------------------------------
 // DBSCAN
@@ -101,6 +108,7 @@ std::vector<bool> lof_outliers(std::span<const double> values,
 /// Parameters for `detect`; only the fields of the chosen method are read.
 struct DetectOptions {
   double zscore_threshold = 3.0;
+  bool zscore_two_sided = false;    ///< flag |z| > t instead of z > t
   double dbscan_eps = 0.0;          ///< 0 = derive from data spacing
   std::size_t dbscan_min_points = 3;
   IsolationForestOptions forest;

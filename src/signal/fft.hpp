@@ -23,9 +23,17 @@ std::vector<Complex> ifft(std::span<const Complex> input);
 /// FFT of a real-valued signal (the I/O bandwidth samples). Returns the
 /// full N-bin complex spectrum; callers typically inspect only bins
 /// [0, N/2] because real input makes the spectrum conjugate-symmetric.
-/// Even N runs as one half-size complex transform (the classic pack/
-/// unpack trick), roughly halving the work of the seed implementation.
+/// Legacy adapter over rfft_half: the packed half transform runs, then
+/// the upper half is mirrored. New code should prefer rfft_half (or
+/// rfft_half_into in signal/plan.hpp) and never materialise the mirror.
 std::vector<Complex> rfft(std::span<const double> input);
+
+/// Packed single-sided FFT of a real signal: only the N/2+1 non-redundant
+/// bins k in [0, N/2] are computed and stored. Even N runs as one
+/// half-size complex transform through the split radix-4 core; the
+/// conjugate-symmetric upper half is never formed. Bit-identical to the
+/// first N/2+1 bins of rfft.
+std::vector<Complex> rfft_half(std::span<const double> input);
 
 /// Reference O(N^2) DFT used for validating the FFT in tests.
 std::vector<Complex> dft_direct(std::span<const Complex> input);

@@ -1,6 +1,7 @@
 #include "signal/plan.hpp"
 
 #include <cmath>
+#include <future>
 #include <list>
 #include <mutex>
 #include <numbers>
@@ -29,15 +30,36 @@ Complex unit_root(std::size_t k, std::size_t n) {
   return Complex(std::cos(angle), std::sin(angle));
 }
 
+/// Bit-reversal permutation for a power-of-two n, the classic in-place
+/// increment loop stored once. Shared by the plan constructor and the
+/// detail:: radix-2 reference tables (the kernels are independent; the
+/// permutation is just data).
+std::vector<std::uint32_t> build_bitrev(std::size_t n) {
+  std::vector<std::uint32_t> bitrev(n);
+  if (n < 2) return bitrev;
+  bitrev[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev[i] = static_cast<std::uint32_t>(j);
+  }
+  return bitrev;
+}
+
 /// Per-thread scratch. Each member is dedicated to one call site so that
-/// nested transforms (forward_real -> half plan -> Bluestein -> radix-2)
-/// never step on each other's buffer:
+/// nested transforms (forward_real_half -> half plan -> Bluestein ->
+/// power-of-two core) never step on each other's buffer:
+///   split core — re/im: the planar real/imag lanes every power-of-two
+///                transform (and the packed real fast path) runs on
 ///   bluestein  — conv: the m-point convolution buffer
 ///   inverse    — conj: conjugated input for the non-pow2 inverse
 ///   real path  — packed/half: the N/2 packed signal and its spectrum
-///   rfft fallback (odd N) — packed doubles as the complexified input
+///                (also the complexified input for the odd-N fallback)
 /// Buffers only grow, so steady-state transforms do no allocation at all.
 struct Workspace {
+  std::vector<double> re;
+  std::vector<double> im;
   std::vector<Complex> conv;
   std::vector<Complex> conj;
   std::vector<Complex> packed;
@@ -49,9 +71,638 @@ Workspace& workspace() {
   return ws;
 }
 
-/// Radix-2 butterfly passes with the direction compiled in: no per-
-/// butterfly invert branch, and the first stage (every twiddle is 1)
-/// runs as plain add/sub pairs.
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FftPlan
+// ---------------------------------------------------------------------------
+
+FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
+  ftio::util::expect(n >= 1, "FftPlan: size must be >= 1");
+  ftio::util::expect(n <= (std::size_t{1} << 31),
+                     "FftPlan: size exceeds 2^31");
+
+  if (pow2_ && n_ >= 2) {
+    bitrev_ = build_bitrev(n_);
+
+    // Butterfly schedule: stages of length 2, 4, ..., N fused in pairs
+    // into radix-4 passes. An odd stage count leaves the trivial
+    // twiddle-free length-2 stage as a radix-2 lead; an even count starts
+    // with the equally twiddle-free fused (2,4) pass.
+    unsigned k = 0;
+    while ((std::size_t{1} << k) < n_) ++k;
+    std::size_t stage = 1;  // next unfused stage s (length 2^s)
+    if (k % 2 == 1) {
+      lead_radix2_ = true;
+      stage = 2;
+    } else {
+      lead_radix4_ = true;
+      stage = 3;
+    }
+    for (; stage + 1 <= k; stage += 2) {
+      const std::size_t len = std::size_t{1} << stage;  // fuse (len, 2*len)
+      Radix4Pass pass;
+      pass.half = len / 2;
+      pass.w1re.resize(pass.half);
+      pass.w1im.resize(pass.half);
+      pass.w2re.resize(pass.half);
+      pass.w2im.resize(pass.half);
+      for (std::size_t j = 0; j < pass.half; ++j) {
+        const Complex w1 = unit_root(j, len);
+        const Complex w2 = unit_root(j, 2 * len);
+        pass.w1re[j] = w1.real();
+        pass.w1im[j] = w1.imag();
+        pass.w2re[j] = w2.real();
+        pass.w2im[j] = w2.imag();
+      }
+      passes_.push_back(std::move(pass));
+    }
+  } else if (!pow2_) {
+    m_ = next_power_of_two(2 * n_ - 1);
+  }
+}
+
+void FftPlan::split_passes(double* re, double* im, bool invert) const {
+  const std::size_t n = n_;
+  const auto run = [&]<bool Inv>() {
+    if (lead_radix2_) {
+      // Stage of length 2: every twiddle is 1.
+      for (std::size_t i = 0; i + 1 < n; i += 2) {
+        const double ar = re[i], ai = im[i];
+        const double br = re[i + 1], bi = im[i + 1];
+        re[i] = ar + br;
+        im[i] = ai + bi;
+        re[i + 1] = ar - br;
+        im[i + 1] = ai - bi;
+      }
+    } else if (lead_radix4_) {
+      // Fused stages (2, 4): plain 4-point DFTs, no twiddle loads.
+      for (std::size_t i = 0; i + 3 < n; i += 4) {
+        const double ar = re[i], ai = im[i];
+        const double br = re[i + 1], bi = im[i + 1];
+        const double cr = re[i + 2], ci = im[i + 2];
+        const double dr = re[i + 3], di = im[i + 3];
+        const double t0r = ar + br, t0i = ai + bi;
+        const double t1r = ar - br, t1i = ai - bi;
+        const double t2r = cr + dr, t2i = ci + di;
+        const double t3r = cr - dr, t3i = ci - di;
+        re[i] = t0r + t2r;
+        im[i] = t0i + t2i;
+        re[i + 2] = t0r - t2r;
+        im[i + 2] = t0i - t2i;
+        if constexpr (Inv) {
+          re[i + 1] = t1r - t3i;
+          im[i + 1] = t1i + t3r;
+          re[i + 3] = t1r + t3i;
+          im[i + 3] = t1i - t3r;
+        } else {
+          re[i + 1] = t1r + t3i;
+          im[i + 1] = t1i - t3r;
+          re[i + 3] = t1r - t3i;
+          im[i + 3] = t1i + t3r;
+        }
+      }
+    }
+    // Generic fused passes: stage pair (L, 2L) as one radix-4 sweep over
+    // blocks of 2L. Within a block the four quarters are contiguous, so
+    // the j loop below is pure stride-1 double arithmetic over disjoint
+    // lanes — exactly the shape auto-vectorisers handle.
+    for (const auto& pass : passes_) {
+      const std::size_t half = pass.half;  // L/2
+      const std::size_t block = 4 * half;  // 2L
+      const double* __restrict w1r = pass.w1re.data();
+      const double* __restrict w1i = pass.w1im.data();
+      const double* __restrict w2r = pass.w2re.data();
+      const double* __restrict w2i = pass.w2im.data();
+      for (std::size_t i = 0; i < n; i += block) {
+        double* __restrict re0 = re + i;
+        double* __restrict im0 = im + i;
+        double* __restrict re1 = re0 + half;
+        double* __restrict im1 = im0 + half;
+        double* __restrict re2 = re0 + 2 * half;
+        double* __restrict im2 = im0 + 2 * half;
+        double* __restrict re3 = re0 + 3 * half;
+        double* __restrict im3 = im0 + 3 * half;
+        for (std::size_t j = 0; j < half; ++j) {
+          const double w1rj = w1r[j];
+          const double w1ij = Inv ? -w1i[j] : w1i[j];
+          const double w2rj = w2r[j];
+          const double w2ij = Inv ? -w2i[j] : w2i[j];
+          // Stage L: butterflies (0,1) and (2,3) with twiddle w1.
+          const double br = w1rj * re1[j] - w1ij * im1[j];
+          const double bi = w1rj * im1[j] + w1ij * re1[j];
+          const double dr = w1rj * re3[j] - w1ij * im3[j];
+          const double di = w1rj * im3[j] + w1ij * re3[j];
+          const double t0r = re0[j] + br, t0i = im0[j] + bi;
+          const double t1r = re0[j] - br, t1i = im0[j] - bi;
+          const double t2r = re2[j] + dr, t2i = im2[j] + di;
+          const double t3r = re2[j] - dr, t3i = im2[j] - di;
+          // Stage 2L: butterflies (0,2) with w2 and (1,3) with -i*w2
+          // (+i*w2 for the inverse) — the -i is folded into the output
+          // shuffle instead of a third twiddle table.
+          const double u2r = w2rj * t2r - w2ij * t2i;
+          const double u2i = w2rj * t2i + w2ij * t2r;
+          const double u3r = w2rj * t3r - w2ij * t3i;
+          const double u3i = w2rj * t3i + w2ij * t3r;
+          re0[j] = t0r + u2r;
+          im0[j] = t0i + u2i;
+          re2[j] = t0r - u2r;
+          im2[j] = t0i - u2i;
+          if constexpr (Inv) {
+            re1[j] = t1r - u3i;
+            im1[j] = t1i + u3r;
+            re3[j] = t1r + u3i;
+            im3[j] = t1i - u3r;
+          } else {
+            re1[j] = t1r + u3i;
+            im1[j] = t1i - u3r;
+            re3[j] = t1r - u3i;
+            im3[j] = t1i + u3r;
+          }
+        }
+      }
+    }
+  };
+  if (invert) {
+    run.template operator()<true>();
+  } else {
+    run.template operator()<false>();
+  }
+}
+
+void FftPlan::pow2_transform(std::span<const Complex> in,
+                             std::span<Complex> out, bool invert) const {
+  const std::size_t n = n_;
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Deinterleave into planar lanes, applying the bit-reversal permutation
+  // during the gather (the input span is fully consumed before any write
+  // to out, so in and out may alias).
+  auto& ws = workspace();
+  ws.re.resize(n);
+  ws.im.resize(n);
+  double* re = ws.re.data();
+  double* im = ws.im.data();
+  const std::uint32_t* bp = bitrev_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex v = in[bp[i]];
+    re[i] = v.real();
+    im[i] = v.imag();
+  }
+  split_passes(re, im, invert);
+  for (std::size_t i = 0; i < n; ++i) out[i] = Complex(re[i], im[i]);
+}
+
+void FftPlan::pow2_inplace(std::span<Complex> a, bool invert) const {
+  pow2_transform(a, a, invert);
+}
+
+void FftPlan::ensure_bluestein_tables() const {
+  std::call_once(bluestein_once_, [this] {
+    // Bluestein: chirp, and the FFT of the wrapped conjugate chirp — the
+    // expensive part of the convolution, paid once per size on the first
+    // complex transform.
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n avoids catastrophic phase error for large k.
+      const std::size_t k2 = (k * k) % (2 * n_);
+      const double angle = -std::numbers::pi * static_cast<double>(k2) /
+                           static_cast<double>(n_);
+      chirp_[k] = Complex(std::cos(angle), std::sin(angle));
+    }
+    sub_ = get_plan(m_);
+    bhat_.assign(m_, Complex(0.0, 0.0));
+    bhat_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      bhat_[k] = bhat_[m_ - k] = std::conj(chirp_[k]);
+    }
+    sub_->pow2_inplace(bhat_, /*invert=*/false);
+  });
+}
+
+void FftPlan::ensure_real_tables() const {
+  std::call_once(real_once_, [this] {
+    half_ = get_plan(n_ / 2);
+    // The packed real path always runs the half plan's complex transform,
+    // so finish its lazy state here rather than on first use.
+    half_->prepare(/*for_real_input=*/false);
+    real_twiddle_.resize(n_ / 2 + 1);
+    for (std::size_t k = 0; k <= n_ / 2; ++k) {
+      real_twiddle_[k] = unit_root(k, n_);
+    }
+  });
+}
+
+void FftPlan::prepare(bool for_real_input) const {
+  if (for_real_input && n_ >= 2 && n_ % 2 == 0) {
+    ensure_real_tables();
+    return;
+  }
+  if (!pow2_ && n_ > 1) ensure_bluestein_tables();
+}
+
+void FftPlan::bluestein_forward(std::span<const Complex> in,
+                                std::span<Complex> out) const {
+  ensure_bluestein_tables();
+  auto& conv = workspace().conv;
+  conv.assign(m_, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n_; ++k) conv[k] = in[k] * chirp_[k];
+
+  sub_->pow2_inplace(conv, /*invert=*/false);
+  for (std::size_t i = 0; i < m_; ++i) conv[i] *= bhat_[i];
+  sub_->pow2_inplace(conv, /*invert=*/true);
+
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[k] = conv[k] * scale * chirp_[k];
+  }
+}
+
+void FftPlan::forward(std::span<const Complex> in,
+                      std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::forward: size mismatch");
+  if (pow2_) {
+    pow2_transform(in, out, /*invert=*/false);
+    return;
+  }
+  bluestein_forward(in, out);
+}
+
+void FftPlan::inverse(std::span<const Complex> in,
+                      std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::inverse: size mismatch");
+  const double scale = 1.0 / static_cast<double>(n_);
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (pow2_) {
+    pow2_transform(in, out, /*invert=*/true);
+    for (auto& v : out) v *= scale;
+    return;
+  }
+  // Non power-of-two inverse via conjugation: ifft(x) = conj(fft(conj(x)))/N.
+  auto& cj = workspace().conj;
+  cj.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) cj[k] = std::conj(in[k]);
+  bluestein_forward(cj, out);
+  for (auto& v : out) v = std::conj(v) * scale;
+}
+
+void FftPlan::forward_real(std::span<const double> in,
+                           std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_,
+                     "FftPlan::forward_real: size mismatch");
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  if (n_ % 2 != 0) {
+    // Odd N: complexify and run the full transform directly.
+    auto& packed = workspace().packed;
+    packed.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) packed[i] = Complex(in[i], 0.0);
+    forward(packed, out);
+    return;
+  }
+  // Even N: packed half transform, then mirror the conjugate-symmetric
+  // upper half for legacy full-spectrum callers.
+  const std::size_t h = n_ / 2;
+  forward_real_half(in, out.first(h + 1));
+  for (std::size_t k = 1; k < h; ++k) out[n_ - k] = std::conj(out[k]);
+}
+
+void FftPlan::forward_real_half(std::span<const double> in,
+                                std::span<Complex> out) const {
+  ftio::util::expect(in.size() == n_ && out.size() == n_ / 2 + 1,
+                     "FftPlan::forward_real_half: size mismatch");
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  auto& ws = workspace();
+  if (n_ % 2 != 0) {
+    // Odd N: full complex transform into scratch, keep the half.
+    ws.packed.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) ws.packed[i] = Complex(in[i], 0.0);
+    ws.half.resize(n_);
+    forward(ws.packed, ws.half);
+    std::copy(ws.half.begin(), ws.half.begin() + n_ / 2 + 1, out.begin());
+    return;
+  }
+
+  // Pack x[2j] + i*x[2j+1] into an N/2-point signal, transform it, then
+  // untangle the single-sided even/odd spectra with the precomputed
+  // unpack twiddles. The mirror bins X[N-k] are never formed. `z` reads
+  // bin k of the packed transform from whichever buffer the branch below
+  // produced it in.
+  ensure_real_tables();
+  const std::size_t h = n_ / 2;
+  const auto unpack_half = [&](auto&& z) {
+    const Complex* tw = real_twiddle_.data();
+    for (std::size_t k = 0; k <= h; ++k) {
+      const Complex zk = z(k % h);
+      const Complex zmk = std::conj(z((h - k) % h));
+      const Complex even = 0.5 * (zk + zmk);
+      const Complex odd = Complex(0.0, -0.5) * (zk - zmk);
+      out[k] = even + tw[k] * odd;
+    }
+  };
+  if (half_->pow2_) {
+    // Fast path: pack the real pairs straight into the planar split
+    // buffers, permuting as we go — no interleaved complex copy at all.
+    ws.re.resize(h);
+    ws.im.resize(h);
+    double* re = ws.re.data();
+    double* im = ws.im.data();
+    if (h == 1) {
+      re[0] = in[0];
+      im[0] = in[1];
+    } else {
+      const std::uint32_t* bp = half_->bitrev_.data();
+      for (std::size_t j = 0; j < h; ++j) {
+        const std::size_t s = 2 * static_cast<std::size_t>(bp[j]);
+        re[j] = in[s];
+        im[j] = in[s + 1];
+      }
+      half_->split_passes(re, im, /*invert=*/false);
+    }
+    unpack_half([&](std::size_t k) { return Complex(re[k], im[k]); });
+    return;
+  }
+
+  // Even N with a non power-of-two half: the half transform runs through
+  // Bluestein on an interleaved buffer.
+  ws.packed.resize(h);
+  ws.half.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    ws.packed[j] = Complex(in[2 * j], in[2 * j + 1]);
+  }
+  half_->forward(ws.packed, ws.half);
+  unpack_half([&](std::size_t k) { return ws.half[k]; });
+}
+
+void FftPlan::inverse_real_half(std::span<const Complex> in,
+                                std::span<double> out) const {
+  ftio::util::expect(in.size() == n_ / 2 + 1 && out.size() == n_,
+                     "FftPlan::inverse_real_half: size mismatch");
+  if (n_ == 1) {
+    out[0] = in[0].real();
+    return;
+  }
+  auto& ws = workspace();
+  if (n_ % 2 != 0) {
+    // Odd N: rebuild the full conjugate-symmetric spectrum and run the
+    // complex inverse; the imaginary parts of the result are rounding
+    // noise and dropped.
+    const std::size_t h = n_ / 2;
+    ws.packed.resize(n_);
+    ws.packed[0] = Complex(in[0].real(), 0.0);
+    for (std::size_t k = 1; k <= h; ++k) {
+      ws.packed[k] = in[k];
+      ws.packed[n_ - k] = std::conj(in[k]);
+    }
+    ws.half.resize(n_);
+    inverse(ws.packed, ws.half);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = ws.half[i].real();
+    return;
+  }
+
+  // Even N: fold the half spectrum back into the N/2-point packed signal
+  // Z_k = E_k + i*O_k (E/O the even/odd-sample spectra, O recovered with
+  // the conjugate unpack twiddle), inverse-transform it, and deinterleave
+  // z_j = x[2j] + i*x[2j+1]. DC and Nyquist imaginary parts are forced to
+  // zero — a real signal cannot produce them.
+  ensure_real_tables();
+  const std::size_t h = n_ / 2;
+  const Complex x0(in[0].real(), 0.0);
+  const Complex xh(in[h].real(), 0.0);
+  const Complex* tw = real_twiddle_.data();
+  const auto z_at = [&](std::size_t k) {
+    const Complex xk = k == 0 ? x0 : in[k];
+    const Complex xmk = std::conj(k == 0 ? xh : in[h - k]);
+    const Complex even = 0.5 * (xk + xmk);
+    const Complex odd = std::conj(tw[k]) * (0.5 * (xk - xmk));
+    // Z_k = E_k + i * O_k
+    return Complex(even.real() - odd.imag(), even.imag() + odd.real());
+  };
+  if (half_->pow2_) {
+    ws.re.resize(h);
+    ws.im.resize(h);
+    double* re = ws.re.data();
+    double* im = ws.im.data();
+    if (h == 1) {
+      const Complex z = z_at(0);
+      re[0] = z.real();
+      im[0] = z.imag();
+    } else {
+      // Scatter into bit-reversed order so the split passes run directly.
+      const std::uint32_t* bp = half_->bitrev_.data();
+      for (std::size_t k = 0; k < h; ++k) {
+        const Complex z = z_at(k);
+        const std::size_t d = bp[k];
+        re[d] = z.real();
+        im[d] = z.imag();
+      }
+      half_->split_passes(re, im, /*invert=*/true);
+    }
+    const double scale = 1.0 / static_cast<double>(h);
+    for (std::size_t j = 0; j < h; ++j) {
+      out[2 * j] = re[j] * scale;
+      out[2 * j + 1] = im[j] * scale;
+    }
+    return;
+  }
+
+  ws.packed.resize(h);
+  for (std::size_t k = 0; k < h; ++k) ws.packed[k] = z_at(k);
+  ws.half.resize(h);
+  half_->inverse(ws.packed, ws.half);  // includes the 1/(N/2) scaling
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = ws.half[j].real();
+    out[2 * j + 1] = ws.half[j].imag();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+struct PlanCache::Impl {
+  mutable std::mutex mutex;
+  std::size_t capacity;
+  // MRU-ordered list of (size, plan); map values point into the list.
+  std::list<std::pair<std::size_t, std::shared_ptr<const FftPlan>>> lru;
+  std::unordered_map<std::size_t, decltype(lru)::iterator> index;
+  // In-flight constructions, keyed by size: late arrivals block on the
+  // winner's future instead of duplicating a potentially multi-ms build.
+  struct Build {
+    std::promise<std::shared_ptr<const FftPlan>> promise;
+    std::shared_future<std::shared_ptr<const FftPlan>> future;
+  };
+  std::unordered_map<std::size_t, std::shared_ptr<Build>> building;
+  // Counters are only touched under `mutex`.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t miss_waits = 0;
+  std::uint64_t evictions = 0;
+
+  void evict_to_capacity_locked() {
+    while (lru.size() > capacity) {
+      index.erase(lru.back().first);
+      lru.pop_back();
+      ++evictions;
+    }
+  }
+};
+
+PlanCache::PlanCache(std::size_t capacity) : impl_(new Impl) {
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+}
+
+PlanCache::~PlanCache() = default;
+
+std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
+  std::shared_ptr<Impl::Build> build;
+  std::shared_future<std::shared_ptr<const FftPlan>> wait_on;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->index.find(n);
+    if (it != impl_->index.end()) {
+      impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+      ++impl_->hits;
+      return it->second->second;
+    }
+    auto in_flight = impl_->building.find(n);
+    if (in_flight != impl_->building.end()) {
+      // Another thread is constructing this size right now: block on its
+      // future instead of building a duplicate. The wait happens outside
+      // this scope — the builder needs the mutex to publish its result.
+      ++impl_->miss_waits;
+      wait_on = in_flight->second->future;
+    } else {
+      build = std::make_shared<Impl::Build>();
+      build->future = build->promise.get_future().share();
+      impl_->building.emplace(n, build);
+    }
+  }
+  if (wait_on.valid()) return wait_on.get();
+  // Construct outside the lock: plan construction can recurse into the
+  // cache (Bluestein's power-of-two sub-plan, the real-path half plan) and
+  // may take milliseconds for large N. The `building` slot guarantees this
+  // thread is the only one constructing size n.
+  std::shared_ptr<const FftPlan> plan;
+  try {
+    plan = std::make_shared<const FftPlan>(n);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->building.erase(n);
+    }
+    build->promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->misses;
+    impl_->lru.emplace_front(n, plan);
+    impl_->index[n] = impl_->lru.begin();
+    impl_->building.erase(n);
+    impl_->evict_to_capacity_locked();
+  }
+  build->promise.set_value(plan);
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Stats s;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.miss_waits = impl_->miss_waits;
+  s.evictions = impl_->evictions;
+  s.size = impl_->lru.size();
+  return s;
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->capacity;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->capacity = capacity == 0 ? 1 : capacity;
+  impl_->evict_to_capacity_locked();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->hits = 0;
+  impl_->misses = 0;
+  impl_->miss_waits = 0;
+  impl_->evictions = 0;
+}
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FftPlan> get_plan(std::size_t n) {
+  return plan_cache().get(n);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free entry points
+// ---------------------------------------------------------------------------
+
+void fft_into(std::span<const Complex> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "fft_into: empty input");
+  get_plan(in.size())->forward(in, out);
+}
+
+void ifft_into(std::span<const Complex> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "ifft_into: empty input");
+  get_plan(in.size())->inverse(in, out);
+}
+
+void rfft_into(std::span<const double> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "rfft_into: empty input");
+  get_plan(in.size())->forward_real(in, out);
+}
+
+void rfft_half_into(std::span<const double> in, std::span<Complex> out) {
+  ftio::util::expect(!in.empty(), "rfft_half_into: empty input");
+  get_plan(in.size())->forward_real_half(in, out);
+}
+
+void irfft_half_into(std::span<const Complex> in, std::span<double> out) {
+  ftio::util::expect(!out.empty(), "irfft_half_into: empty output");
+  get_plan(out.size())->inverse_real_half(in, out);
+}
+
+// ---------------------------------------------------------------------------
+// detail: scalar radix-2 reference kernel
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+Radix2Tables::Radix2Tables(std::size_t n) {
+  ftio::util::expect(is_power_of_two(n), "Radix2Tables: n must be 2^k");
+  bitrev = build_bitrev(n);
+  twiddle.resize(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) twiddle[j] = unit_root(j, n);
+}
+
+namespace {
+
 template <bool Invert>
 void radix2_core(std::span<Complex> a,
                  const std::vector<std::uint32_t>& bitrev,
@@ -84,305 +735,18 @@ void radix2_core(std::span<Complex> a,
 
 }  // namespace
 
-// ---------------------------------------------------------------------------
-// FftPlan
-// ---------------------------------------------------------------------------
-
-FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
-  ftio::util::expect(n >= 1, "FftPlan: size must be >= 1");
-  ftio::util::expect(n <= (std::size_t{1} << 31),
-                     "FftPlan: size exceeds 2^31");
-
-  if (pow2_ && n_ >= 2) {
-    // Bit-reversal permutation, same construction as the classic in-place
-    // loop but stored once instead of recomputed per transform.
-    bitrev_.resize(n_);
-    bitrev_[0] = 0;
-    for (std::size_t i = 1, j = 0; i < n_; ++i) {
-      std::size_t bit = n_ >> 1;
-      for (; j & bit; bit >>= 1) j ^= bit;
-      j ^= bit;
-      bitrev_[i] = static_cast<std::uint32_t>(j);
-    }
-    twiddle_.resize(n_ / 2);
-    for (std::size_t j = 0; j < n_ / 2; ++j) {
-      twiddle_[j] = unit_root(j, n_);
-    }
-  } else if (!pow2_) {
-    m_ = next_power_of_two(2 * n_ - 1);
-  }
-}
-
-void FftPlan::ensure_bluestein_tables() const {
-  std::call_once(bluestein_once_, [this] {
-    // Bluestein: chirp, and the FFT of the wrapped conjugate chirp — the
-    // expensive part of the convolution, paid once per size on the first
-    // complex transform.
-    chirp_.resize(n_);
-    for (std::size_t k = 0; k < n_; ++k) {
-      // k^2 mod 2n avoids catastrophic phase error for large k.
-      const std::size_t k2 = (k * k) % (2 * n_);
-      const double angle = -std::numbers::pi * static_cast<double>(k2) /
-                           static_cast<double>(n_);
-      chirp_[k] = Complex(std::cos(angle), std::sin(angle));
-    }
-    sub_ = get_plan(m_);
-    bhat_.assign(m_, Complex(0.0, 0.0));
-    bhat_[0] = std::conj(chirp_[0]);
-    for (std::size_t k = 1; k < n_; ++k) {
-      bhat_[k] = bhat_[m_ - k] = std::conj(chirp_[k]);
-    }
-    sub_->radix2_inplace(bhat_, /*invert=*/false);
-  });
-}
-
-void FftPlan::ensure_real_tables() const {
-  std::call_once(real_once_, [this] {
-    half_ = get_plan(n_ / 2);
-    // forward_real always runs the half plan's complex transform, so
-    // finish its lazy state here rather than on first use.
-    half_->prepare(/*for_real_input=*/false);
-    real_twiddle_.resize(n_ / 2 + 1);
-    for (std::size_t k = 0; k <= n_ / 2; ++k) {
-      real_twiddle_[k] = unit_root(k, n_);
-    }
-  });
-}
-
-void FftPlan::prepare(bool for_real_input) const {
-  if (for_real_input && n_ >= 2 && n_ % 2 == 0) {
-    ensure_real_tables();
-    return;
-  }
-  if (!pow2_ && n_ > 1) ensure_bluestein_tables();
-}
-
-void FftPlan::radix2_inplace(std::span<Complex> a, bool invert) const {
+void radix2_scalar(std::span<Complex> a, const Radix2Tables& tables,
+                   bool invert) {
+  ftio::util::expect(a.size() == tables.bitrev.size() || a.size() <= 1,
+                     "radix2_scalar: size mismatch");
   if (a.size() < 2) return;
   if (invert) {
-    radix2_core<true>(a, bitrev_, twiddle_);
+    radix2_core<true>(a, tables.bitrev, tables.twiddle);
   } else {
-    radix2_core<false>(a, bitrev_, twiddle_);
+    radix2_core<false>(a, tables.bitrev, tables.twiddle);
   }
 }
 
-void FftPlan::bluestein_forward(std::span<const Complex> in,
-                                std::span<Complex> out) const {
-  ensure_bluestein_tables();
-  auto& conv = workspace().conv;
-  conv.assign(m_, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n_; ++k) conv[k] = in[k] * chirp_[k];
-
-  sub_->radix2_inplace(conv, /*invert=*/false);
-  for (std::size_t i = 0; i < m_; ++i) conv[i] *= bhat_[i];
-  sub_->radix2_inplace(conv, /*invert=*/true);
-
-  const double scale = 1.0 / static_cast<double>(m_);
-  for (std::size_t k = 0; k < n_; ++k) {
-    out[k] = conv[k] * scale * chirp_[k];
-  }
-}
-
-void FftPlan::forward(std::span<const Complex> in,
-                      std::span<Complex> out) const {
-  ftio::util::expect(in.size() == n_ && out.size() == n_,
-                     "FftPlan::forward: size mismatch");
-  if (n_ == 1) {
-    out[0] = in[0];
-    return;
-  }
-  if (pow2_) {
-    if (out.data() != in.data()) {
-      std::copy(in.begin(), in.end(), out.begin());
-    }
-    radix2_inplace(out, /*invert=*/false);
-    return;
-  }
-  bluestein_forward(in, out);
-}
-
-void FftPlan::inverse(std::span<const Complex> in,
-                      std::span<Complex> out) const {
-  ftio::util::expect(in.size() == n_ && out.size() == n_,
-                     "FftPlan::inverse: size mismatch");
-  const double scale = 1.0 / static_cast<double>(n_);
-  if (n_ == 1) {
-    out[0] = in[0];
-    return;
-  }
-  if (pow2_) {
-    if (out.data() != in.data()) {
-      std::copy(in.begin(), in.end(), out.begin());
-    }
-    radix2_inplace(out, /*invert=*/true);
-    for (auto& v : out) v *= scale;
-    return;
-  }
-  // Non power-of-two inverse via conjugation: ifft(x) = conj(fft(conj(x)))/N.
-  auto& cj = workspace().conj;
-  cj.resize(n_);
-  for (std::size_t k = 0; k < n_; ++k) cj[k] = std::conj(in[k]);
-  bluestein_forward(cj, out);
-  for (auto& v : out) v = std::conj(v) * scale;
-}
-
-void FftPlan::forward_real(std::span<const double> in,
-                           std::span<Complex> out) const {
-  ftio::util::expect(in.size() == n_ && out.size() == n_,
-                     "FftPlan::forward_real: size mismatch");
-  if (n_ == 1) {
-    out[0] = Complex(in[0], 0.0);
-    return;
-  }
-  if (n_ % 2 != 0) {
-    // Odd N: complexify and run the full transform.
-    auto& packed = workspace().packed;
-    packed.resize(n_);
-    for (std::size_t i = 0; i < n_; ++i) packed[i] = Complex(in[i], 0.0);
-    forward(packed, out);
-    return;
-  }
-
-  // Pack x[2j] + i*x[2j+1] into an N/2-point signal, transform it, then
-  // untangle the even/odd spectra with the precomputed unpack twiddles.
-  ensure_real_tables();
-  const std::size_t h = n_ / 2;
-  auto& packed = workspace().packed;
-  auto& half = workspace().half;
-  packed.resize(h);
-  half.resize(h);
-  for (std::size_t j = 0; j < h; ++j) {
-    packed[j] = Complex(in[2 * j], in[2 * j + 1]);
-  }
-  half_->forward(packed, half);
-
-  for (std::size_t k = 0; k <= h; ++k) {
-    const Complex zk = half[k % h];
-    const Complex zmk = std::conj(half[(h - k) % h]);
-    const Complex even = 0.5 * (zk + zmk);
-    const Complex odd = Complex(0.0, -0.5) * (zk - zmk);
-    const Complex xk = even + real_twiddle_[k] * odd;
-    out[k] = xk;
-    if (k > 0 && k < h) out[n_ - k] = std::conj(xk);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// PlanCache
-// ---------------------------------------------------------------------------
-
-struct PlanCache::Impl {
-  mutable std::mutex mutex;
-  std::size_t capacity;
-  // MRU-ordered list of (size, plan); map values point into the list.
-  std::list<std::pair<std::size_t, std::shared_ptr<const FftPlan>>> lru;
-  std::unordered_map<std::size_t, decltype(lru)::iterator> index;
-  // Counters are only touched under `mutex`.
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-
-  void evict_to_capacity_locked() {
-    while (lru.size() > capacity) {
-      index.erase(lru.back().first);
-      lru.pop_back();
-      ++evictions;
-    }
-  }
-};
-
-PlanCache::PlanCache(std::size_t capacity) : impl_(new Impl) {
-  impl_->capacity = capacity == 0 ? 1 : capacity;
-}
-
-PlanCache::~PlanCache() = default;
-
-std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    auto it = impl_->index.find(n);
-    if (it != impl_->index.end()) {
-      impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
-      ++impl_->hits;
-      return it->second->second;
-    }
-  }
-  // Construct outside the lock: plan construction can recurse into the
-  // cache (Bluestein's power-of-two sub-plan, the real-path half plan) and
-  // may take milliseconds for large N. Two threads racing on the same size
-  // build twice; the first insert wins, the loser's copy is discarded and
-  // its lookup is recounted as a hit on the winner's entry.
-  auto plan = std::make_shared<const FftPlan>(n);
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->index.find(n);
-  if (it != impl_->index.end()) {
-    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
-    ++impl_->hits;
-    return it->second->second;
-  }
-  ++impl_->misses;
-  impl_->lru.emplace_front(n, plan);
-  impl_->index[n] = impl_->lru.begin();
-  impl_->evict_to_capacity_locked();
-  return plan;
-}
-
-PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  Stats s;
-  s.hits = impl_->hits;
-  s.misses = impl_->misses;
-  s.evictions = impl_->evictions;
-  s.size = impl_->lru.size();
-  return s;
-}
-
-std::size_t PlanCache::capacity() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->capacity;
-}
-
-void PlanCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->capacity = capacity == 0 ? 1 : capacity;
-  impl_->evict_to_capacity_locked();
-}
-
-void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->lru.clear();
-  impl_->index.clear();
-  impl_->hits = 0;
-  impl_->misses = 0;
-  impl_->evictions = 0;
-}
-
-PlanCache& plan_cache() {
-  static PlanCache cache;
-  return cache;
-}
-
-std::shared_ptr<const FftPlan> get_plan(std::size_t n) {
-  return plan_cache().get(n);
-}
-
-// ---------------------------------------------------------------------------
-// Allocation-free entry points
-// ---------------------------------------------------------------------------
-
-void fft_into(std::span<const Complex> in, std::span<Complex> out) {
-  ftio::util::expect(!in.empty(), "fft_into: empty input");
-  get_plan(in.size())->forward(in, out);
-}
-
-void ifft_into(std::span<const Complex> in, std::span<Complex> out) {
-  ftio::util::expect(!in.empty(), "ifft_into: empty input");
-  get_plan(in.size())->inverse(in, out);
-}
-
-void rfft_into(std::span<const double> in, std::span<Complex> out) {
-  ftio::util::expect(!in.empty(), "rfft_into: empty input");
-  get_plan(in.size())->forward_real(in, out);
-}
+}  // namespace detail
 
 }  // namespace ftio::signal

@@ -12,13 +12,20 @@
 namespace ftio::signal {
 
 /// Precomputed transform state for one size N. A plan owns every table the
-/// transform needs — twiddle factors and the bit-reversal permutation for
-/// the radix-2 path, the chirp and its precomputed spectrum for the
-/// Bluestein path, and (for even N) a half-size sub-plan plus the unpack
-/// twiddles that make the real-input fast path possible. Plans are
-/// immutable after construction and therefore safe to share across
-/// threads; mutable scratch lives in per-thread workspaces inside the
-/// execution functions.
+/// transform needs — the bit-reversal permutation and per-pass split
+/// real/imag twiddle tables for the power-of-two path, the chirp and its
+/// precomputed spectrum for the Bluestein path, and (for even N) a
+/// half-size sub-plan plus the unpack twiddles that make the real-input
+/// fast path possible. Plans are immutable after construction and
+/// therefore safe to share across threads; mutable scratch lives in
+/// per-thread workspaces inside the execution functions.
+///
+/// The power-of-two core operates on deinterleaved (planar) real/imag
+/// double arrays and fuses butterfly stages in pairs, i.e. radix-4 passes
+/// with one radix-2 lead stage when log2(N) is odd. The hot loops are
+/// contiguous stride-1 double arithmetic with no std::complex calls, which
+/// GCC and Clang auto-vectorise (SSE2 baseline, AVX2 with
+/// -march=x86-64-v3 — see the FTIO_X86_64_V3 CMake option).
 ///
 /// Most callers should not construct plans directly but go through
 /// `plan_cache()` (or the `fft`/`rfft`/`ifft` free functions, which do so
@@ -31,23 +38,36 @@ class FftPlan {
   explicit FftPlan(std::size_t n);
 
   std::size_t size() const { return n_; }
-  /// True when N is a power of two (pure radix-2, no Bluestein tables).
-  bool radix2() const { return pow2_; }
 
   /// Forward DFT: out_k = sum_n in_n exp(-2*pi*i*k*n/N).
-  /// in.size() == out.size() == size(). For power-of-two plans in and out
-  /// may alias; Bluestein requires distinct buffers only between in and
-  /// the internal scratch (aliasing in/out is still fine).
+  /// in.size() == out.size() == size(). in and out may alias.
   void forward(std::span<const Complex> in, std::span<Complex> out) const;
 
   /// Inverse DFT including the 1/N normalisation.
   void inverse(std::span<const Complex> in, std::span<Complex> out) const;
 
   /// Forward DFT of a real signal, returning the full N-bin conjugate-
-  /// symmetric spectrum. Even N takes the half-size fast path (N real ->
-  /// N/2 complex transform + O(N) unpack); odd N falls back to the
-  /// complex transform.
+  /// symmetric spectrum. Legacy adapter: runs forward_real_half and
+  /// mirrors the upper half. out.size() == size().
   void forward_real(std::span<const double> in, std::span<Complex> out) const;
+
+  /// Packed single-sided transform of a real signal: writes only the
+  /// N/2+1 non-redundant bins (indices k in [0, N/2]); the conjugate-
+  /// symmetric upper half is never computed or stored. Even N runs as one
+  /// half-size complex transform (N real -> N/2 complex + O(N) unpack),
+  /// packed straight into the planar split buffers when N/2 is a power of
+  /// two; odd N falls back to the complex transform and copies the half.
+  /// out.size() == size()/2 + 1.
+  void forward_real_half(std::span<const double> in,
+                         std::span<Complex> out) const;
+
+  /// Inverse of forward_real_half: reconstructs the N real samples from
+  /// the packed N/2+1 half spectrum (which must be the transform of a
+  /// real signal: imag(in[0]) and, for even N, imag(in[N/2]) are ignored).
+  /// Includes the 1/N normalisation. in.size() == size()/2 + 1,
+  /// out.size() == size().
+  void inverse_real_half(std::span<const Complex> in,
+                         std::span<double> out) const;
 
   /// Forces construction of the lazily built tables so that subsequent
   /// transforms on worker threads find everything resident: the Bluestein
@@ -56,7 +76,20 @@ class FftPlan {
   void prepare(bool for_real_input) const;
 
  private:
-  void radix2_inplace(std::span<Complex> a, bool invert) const;
+  /// One fused pair of butterfly stages (lengths L and 2L) over planar
+  /// arrays: the radix-4 workhorse. Twiddles are stored split and
+  /// contiguous per pass so the inner loop is pure stride-1 double math.
+  struct Radix4Pass {
+    std::size_t half = 0;           ///< L/2 butterflies per block of 2L
+    std::vector<double> w1re, w1im; ///< exp(-2*pi*i*j/L),    j < L/2
+    std::vector<double> w2re, w2im; ///< exp(-2*pi*i*j/(2L)), j < L/2
+  };
+
+  void pow2_transform(std::span<const Complex> in, std::span<Complex> out,
+                      bool invert) const;
+  void pow2_inplace(std::span<Complex> a, bool invert) const;
+  /// Runs the butterfly passes over bit-reverse-permuted planar buffers.
+  void split_passes(double* re, double* im, bool invert) const;
   void bluestein_forward(std::span<const Complex> in,
                          std::span<Complex> out) const;
   void ensure_bluestein_tables() const;
@@ -65,9 +98,11 @@ class FftPlan {
   std::size_t n_ = 0;
   bool pow2_ = false;
 
-  // Radix-2 tables (power-of-two N only).
-  std::vector<std::uint32_t> bitrev_;   ///< permutation, size N
-  std::vector<Complex> twiddle_;        ///< exp(-2*pi*i*j/N), j < N/2
+  // Split radix-4 tables (power-of-two N only).
+  std::vector<std::uint32_t> bitrev_;  ///< permutation, size N
+  bool lead_radix2_ = false;  ///< odd log2 N: one radix-2 stage first
+  bool lead_radix4_ = false;  ///< even log2 N: twiddle-free 4-point DFTs first
+  std::vector<Radix4Pass> passes_;
 
   // Bluestein tables (non power-of-two N only). Built lazily on the
   // first complex transform: an even non-pow2 plan that only ever serves
@@ -80,9 +115,10 @@ class FftPlan {
   mutable std::shared_ptr<const FftPlan> sub_;  ///< pow2 plan for m
 
   // Real-input fast path (even N only). Built lazily on the first
-  // forward_real call — eager construction would recursively drag a
-  // half-plan chain (N/2, N/4, ...) into the cache for plans that only
-  // ever run complex transforms (e.g. Bluestein sub-plans, ACF sizes).
+  // forward_real_half/inverse_real_half call — eager construction would
+  // recursively drag a half-plan chain (N/2, N/4, ...) into the cache for
+  // plans that only ever run complex transforms (e.g. Bluestein
+  // sub-plans).
   mutable std::once_flag real_once_;
   mutable std::shared_ptr<const FftPlan> half_;  ///< cached plan for N/2
   mutable std::vector<Complex> real_twiddle_;    ///< exp(-2*pi*i*k/N), k<=N/2
@@ -101,22 +137,29 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the plan for size n, constructing and caching it on a miss.
-  /// The returned handle stays valid after eviction (shared ownership), so
+  /// Concurrent lookups of the same absent size build the plan exactly
+  /// once: the first caller constructs, the rest block on the in-flight
+  /// build (counted as miss_waits, not hits) and share the result. The
+  /// returned handle stays valid after eviction (shared ownership), so
   /// worker threads can hold a per-thread handle across a whole batch.
   std::shared_ptr<const FftPlan> get(std::size_t n);
 
   struct Stats {
     std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t misses = 0;    ///< lookups that constructed the plan
+    std::uint64_t miss_waits = 0;///< lookups that blocked on another
+                                 ///  thread's in-flight construction
     std::uint64_t evictions = 0;
-    std::size_t size = 0;  ///< plans currently resident
+    std::size_t size = 0;        ///< plans currently resident
   };
   Stats stats() const;
 
   std::size_t capacity() const;
   /// Resizes the cache, evicting least-recently-used plans if needed.
   void set_capacity(std::size_t capacity);
-  /// Drops every cached plan and resets the stats counters.
+  /// Drops every cached plan and resets the stats counters. Builds that
+  /// are in flight when clear() runs cannot be cancelled: they publish
+  /// into the emptied cache when they finish (one post-clear miss each).
   void clear();
 
  private:
@@ -132,11 +175,40 @@ std::shared_ptr<const FftPlan> get_plan(std::size_t n);
 
 // ---------------------------------------------------------------------------
 // Allocation-free transform entry points (plan-cached, scratch reused).
-// out.size() must equal in.size(); results match the vector-returning
-// fft/ifft/rfft free functions bit for bit.
+// Results match the vector-returning fft/ifft/rfft free functions bit for
+// bit.
 // ---------------------------------------------------------------------------
+
+/// out.size() == in.size().
 void fft_into(std::span<const Complex> in, std::span<Complex> out);
 void ifft_into(std::span<const Complex> in, std::span<Complex> out);
 void rfft_into(std::span<const double> in, std::span<Complex> out);
+
+/// Packed single-sided real transform: out.size() == in.size()/2 + 1.
+/// Bit-identical to the first N/2+1 bins of rfft_into.
+void rfft_half_into(std::span<const double> in, std::span<Complex> out);
+
+/// Inverse of rfft_half_into (1/N normalisation included):
+/// in.size() == out.size()/2 + 1.
+void irfft_half_into(std::span<const Complex> in, std::span<double> out);
+
+namespace detail {
+
+/// The pre-radix-4 scalar kernel: interleaved std::complex radix-2
+/// butterflies. Kept as an independently-implemented reference so tests
+/// can pin the radix-4 split core against it on every power-of-two size,
+/// and as the baseline bench/micro_fft.cpp measures speedups against.
+struct Radix2Tables {
+  explicit Radix2Tables(std::size_t n);  ///< n must be a power of two
+  std::vector<std::uint32_t> bitrev;     ///< permutation, size n
+  std::vector<Complex> twiddle;          ///< exp(-2*pi*i*j/n), j < n/2
+};
+
+/// In-place radix-2 transform of a (a.size() == tables size). No output
+/// scaling: the inverse pass omits the 1/N factor.
+void radix2_scalar(std::span<Complex> a, const Radix2Tables& tables,
+                   bool invert);
+
+}  // namespace detail
 
 }  // namespace ftio::signal

@@ -17,14 +17,15 @@ Spectrum compute_spectrum(std::span<const double> samples, double fs) {
   ftio::util::expect(!samples.empty(), "compute_spectrum: empty signal");
   ftio::util::expect(fs > 0.0, "compute_spectrum: fs must be positive");
 
-  // Plan-cached real transform into per-thread scratch: the full N-bin
-  // buffer is reused across calls instead of reallocated, and only the
-  // single-sided half is copied out below.
-  thread_local std::vector<Complex> bins;
-  bins.resize(samples.size());
-  rfft_into(samples, bins);
+  // Plan-cached packed real transform into per-thread scratch: only the
+  // single-sided N/2+1 bins the spectrum reads are ever computed or
+  // stored (the conjugate-symmetric upper half no longer exists), and the
+  // buffer is reused across calls instead of reallocated.
   const std::size_t n = samples.size();
   const std::size_t half = n / 2;  // single-sided: k in [0, N/2]
+  thread_local std::vector<Complex> bins;
+  bins.resize(half + 1);
+  rfft_half_into(samples, bins);
 
   Spectrum s;
   s.sampling_frequency = fs;

@@ -58,25 +58,28 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
   const auto plan = get_plan(padded);
 
   // Mean-removed, zero-padded signal spectrum (computed once, through the
-  // plan's half-size real-input fast path).
+  // plan's packed real fast path). The analytic Morlet window below only
+  // ever reads the positive-frequency bins k in [1, padded/2], so the
+  // single-sided half spectrum is all that is needed — the mirrored
+  // upper half is never computed or stored.
   const double mean = ftio::util::mean(samples);
   std::vector<double> x(padded, 0.0);
   for (std::size_t i = 0; i < n; ++i) x[i] = samples[i] - mean;
-  std::vector<Complex> x_hat(padded);
-  plan->forward_real(x, x_hat);
+  std::vector<Complex> x_hat(padded / 2 + 1);
+  plan->forward_real_half(x, x_hat);
 
   CwtResult result;
   result.sampling_frequency = fs;
   result.frequencies.assign(frequencies.begin(), frequencies.end());
   result.power.resize(frequencies.size());
 
-  // Angular frequency grid of the padded FFT.
-  std::vector<double> omega(padded);
-  for (std::size_t k = 0; k < padded; ++k) {
-    const double f = (k <= padded / 2)
-                         ? static_cast<double>(k)
-                         : static_cast<double>(k) - static_cast<double>(padded);
-    omega[k] = 2.0 * std::numbers::pi * f * fs / static_cast<double>(padded);
+  // Angular frequency grid of the padded FFT — positive frequencies
+  // only, matching the half spectrum: the analytic wavelet never reads a
+  // bin above padded/2.
+  std::vector<double> omega(padded / 2 + 1);
+  for (std::size_t k = 0; k < omega.size(); ++k) {
+    omega[k] = 2.0 * std::numbers::pi * static_cast<double>(k) * fs /
+               static_cast<double>(padded);
   }
 
   // Rows are independent: fan them across workers; the windowed-product

@@ -64,6 +64,45 @@ TEST(ZScore, EmptyInput) {
   EXPECT_TRUE(out::zscore_outliers(std::vector<double>{}).empty());
 }
 
+TEST(ZScore, OneSidedDefaultIgnoresLowSideOutliers) {
+  // Mixed-sign data with one high spike and one low spike. The default
+  // Eq. (2) semantics (spectral powers, anomalously *high* bins) must
+  // flag only the high side — the low spike has z < -t, not z > t.
+  ftio::util::Rng rng(11);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  v[17] = 60.0;
+  v[42] = -60.0;
+  const auto flags = out::zscore_outliers(v, 3.0);
+  EXPECT_TRUE(flags[17]);
+  EXPECT_FALSE(flags[42]);
+  EXPECT_EQ(count_true(flags), 1u);
+}
+
+TEST(ZScore, TwoSidedFlagsBothTails) {
+  ftio::util::Rng rng(11);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  v[17] = 60.0;
+  v[42] = -60.0;
+  const auto flags = out::zscore_outliers(v, 3.0, /*two_sided=*/true);
+  EXPECT_TRUE(flags[17]);
+  EXPECT_TRUE(flags[42]);
+  EXPECT_EQ(count_true(flags), 2u);
+}
+
+TEST(ZScore, DetectRoutesTwoSidedOption) {
+  ftio::util::Rng rng(13);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  v[5] = -80.0;
+  out::DetectOptions one_sided;
+  out::DetectOptions two_sided;
+  two_sided.zscore_two_sided = true;
+  EXPECT_FALSE(out::detect(v, out::Method::kZScore, one_sided)[5]);
+  EXPECT_TRUE(out::detect(v, out::Method::kZScore, two_sided)[5]);
+}
+
 // ---------------------------------------------------------------------------
 // DBSCAN
 // ---------------------------------------------------------------------------

@@ -81,6 +81,34 @@ TEST(Spectrum, PowerIsAmplitudeSquaredOverN) {
   }
 }
 
+TEST(Spectrum, ParsevalEnergyConservation) {
+  // Parseval over the single-sided layout: sum_n x_n^2 must equal the
+  // total single-sided power p_0 [+ p_{N/2} for even N] + 2*sum of the
+  // interior bins (each interior bin owns a conjugate twin that the
+  // packed half-spectrum transform never materialises). Checked for even
+  // and odd N so the Nyquist-bin bookkeeping is exercised both ways.
+  for (std::size_t n : {32u, 33u, 97u, 360u, 1024u}) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i);
+      x[i] = 2.5 + std::cos(0.37 * t) + 0.5 * std::sin(1.13 * t + 0.2);
+    }
+    const auto s = sig::compute_spectrum(x, 4.0);
+
+    double time_energy = 0.0;
+    for (double v : x) time_energy += v * v;
+
+    const std::size_t half = n / 2;
+    double freq_energy = s.power[0];
+    for (std::size_t k = 1; k <= half; ++k) {
+      const bool has_twin = !(n % 2 == 0 && k == half);
+      freq_energy += (has_twin ? 2.0 : 1.0) * s.power[k];
+    }
+    EXPECT_NEAR(freq_energy, time_energy, 1e-8 * time_energy)
+        << "n = " << n;
+  }
+}
+
 TEST(Spectrum, RejectsBadArguments) {
   EXPECT_THROW(sig::compute_spectrum(std::vector<double>{}, 1.0),
                ftio::util::InvalidArgument);

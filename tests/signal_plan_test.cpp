@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "signal/fft.hpp"
@@ -112,6 +114,86 @@ TEST(FftPlan, IntoVariantsMatchVectorVariants) {
             0);
 }
 
+TEST(FftPlan, Radix4SplitCoreMatchesRadix2ReferenceOnEveryPow2) {
+  // Property: the fused radix-4 split-real/imag core and the scalar
+  // interleaved radix-2 reference kernel are the same transform, on every
+  // power-of-two size up to 2^16 (both parities of log2 N, so both the
+  // radix-2 lead stage and the twiddle-free 4-point lead are covered).
+  for (std::size_t n = 2; n <= (std::size_t{1} << 16); n <<= 1) {
+    const auto x = random_signal(n, 4200 + n);
+
+    const sig::detail::Radix2Tables tables(n);
+    std::vector<Complex> want(x);
+    sig::detail::radix2_scalar(want, tables, /*invert=*/false);
+
+    sig::FftPlan plan(n);
+    std::vector<Complex> got(n);
+    plan.forward(x, got);
+    EXPECT_LE(max_abs_diff(got, want), tolerance(n)) << "forward n = " << n;
+
+    // Inverse agreement (reference kernel omits the 1/N scaling).
+    std::vector<Complex> want_inv(x);
+    sig::detail::radix2_scalar(want_inv, tables, /*invert=*/true);
+    for (auto& v : want_inv) v /= static_cast<double>(n);
+    std::vector<Complex> got_inv(n);
+    plan.inverse(x, got_inv);
+    EXPECT_LE(max_abs_diff(got_inv, want_inv), tolerance(n))
+        << "inverse n = " << n;
+  }
+}
+
+TEST(FftPlan, RfftHalfMatchesLegacyFullSpectrum) {
+  // Packed half-spectrum output must match the legacy full-N spectrum on
+  // the non-redundant bins to 1e-12 across power-of-two, even non-pow2,
+  // odd, and prime N — including the N=2 and N=4 corner sizes whose
+  // "interior" is only DC and Nyquist.
+  const std::size_t sizes[] = {1, 2,  4,   6,   8,   12,  16, 31, 60,
+                               97, 101, 128, 360, 769, 1000, 1024, 4096};
+  for (std::size_t n : sizes) {
+    const auto x = random_real(n, 5200 + n);
+    const auto full = sig::rfft(x);
+    const auto half = sig::rfft_half(x);
+    ASSERT_EQ(half.size(), n / 2 + 1) << "n = " << n;
+    for (std::size_t k = 0; k < half.size(); ++k) {
+      EXPECT_LE(std::abs(half[k] - full[k]), 1e-12)
+          << "n = " << n << " bin " << k;
+    }
+    // The mirrored legacy half must be the conjugate of the packed bins.
+    for (std::size_t k = 1; k + k < n; ++k) {
+      EXPECT_LE(std::abs(full[n - k] - std::conj(half[k])), 1e-12)
+          << "n = " << n << " mirror bin " << k;
+    }
+  }
+}
+
+TEST(FftPlan, RfftHalfNyquistBinIsReal) {
+  // Even N: bin N/2 of a real signal satisfies X_{N/2} = conj(X_{N/2}).
+  for (std::size_t n : {2u, 4u, 6u, 16u, 360u}) {
+    const auto x = random_real(n, 6200 + n);
+    const auto half = sig::rfft_half(x);
+    EXPECT_LE(std::abs(half[n / 2].imag()), tolerance(n)) << "n = " << n;
+    EXPECT_LE(std::abs(half[0].imag()), tolerance(n)) << "n = " << n;
+  }
+}
+
+TEST(FftPlan, InverseRealHalfRoundTrips) {
+  // irfft_half(rfft_half(x)) == x for every parity class of N: pow2,
+  // even with pow2 half, even with non-pow2 half, odd, prime.
+  const std::size_t sizes[] = {1, 2, 4, 6, 8, 12, 31, 60, 97, 128, 360, 1024};
+  for (std::size_t n : sizes) {
+    const auto x = random_real(n, 7200 + n);
+    std::vector<Complex> half(n / 2 + 1);
+    sig::rfft_half_into(x, half);
+    std::vector<double> back(n);
+    sig::irfft_half_into(half, back);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(back[i] - x[i]));
+    }
+    EXPECT_LE(err, tolerance(n)) << "n = " << n;
+  }
+}
+
 TEST(PlanCache, HitsAndMisses) {
   auto& cache = sig::plan_cache();
   cache.clear();
@@ -182,4 +264,39 @@ TEST(PlanCache, ThreadSafetyUnderParallelFor) {
     EXPECT_LE(errors[i], tolerance(cases[i % cases.size()].input.size()))
         << "iteration " << i;
   }
+}
+
+TEST(PlanCache, ConcurrentSameSizeLookupsBuildExactlyOnce) {
+  // All workers race get() on one absent size. In-flight deduplication
+  // must make exactly one thread construct the plan; every other lookup
+  // either blocks on that build (miss_wait) or arrives after publication
+  // (hit) — never a second construction, and everyone shares one plan.
+  sig::PlanCache cache(8);
+  constexpr std::size_t kThreads = 8;
+  const std::size_t n = 1 << 14;
+
+  std::vector<std::shared_ptr<const sig::FftPlan>> plans(kThreads);
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> arrived{0};
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Rendezvous so the lookups overlap as much as the scheduler allows.
+      arrived.fetch_add(1);
+      while (arrived.load() < kThreads) std::this_thread::yield();
+      plans[t] = cache.get(n);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u) << "losers must block on the in-flight build, "
+                             "not construct a duplicate plan";
+  EXPECT_EQ(s.hits + s.miss_waits, kThreads - 1);
+  EXPECT_EQ(s.size, 1u);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[t].get(), plans[0].get()) << "thread " << t;
+  }
+  ASSERT_NE(plans[0], nullptr);
+  EXPECT_EQ(plans[0]->size(), n);
 }
