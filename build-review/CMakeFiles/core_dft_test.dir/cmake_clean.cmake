@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dft_test.dir/tests/core_dft_test.cpp.o"
+  "CMakeFiles/core_dft_test.dir/tests/core_dft_test.cpp.o.d"
+  "core_dft_test"
+  "core_dft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

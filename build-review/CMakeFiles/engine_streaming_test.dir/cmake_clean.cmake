@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_streaming_test.dir/tests/engine_streaming_test.cpp.o"
+  "CMakeFiles/engine_streaming_test.dir/tests/engine_streaming_test.cpp.o.d"
+  "engine_streaming_test"
+  "engine_streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acf_analysis.cpp" "CMakeFiles/ftio.dir/src/core/acf_analysis.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/acf_analysis.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "CMakeFiles/ftio.dir/src/core/candidates.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/candidates.cpp.o.d"
+  "/root/repo/src/core/ftio.cpp" "CMakeFiles/ftio.dir/src/core/ftio.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/ftio.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/ftio.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "CMakeFiles/ftio.dir/src/core/online.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/online.cpp.o.d"
+  "/root/repo/src/core/per_rank.cpp" "CMakeFiles/ftio.dir/src/core/per_rank.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/per_rank.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "CMakeFiles/ftio.dir/src/core/profile.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/core/profile.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "CMakeFiles/ftio.dir/src/engine/engine.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/streaming.cpp" "CMakeFiles/ftio.dir/src/engine/streaming.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/engine/streaming.cpp.o.d"
+  "/root/repo/src/mpisim/cluster.cpp" "CMakeFiles/ftio.dir/src/mpisim/cluster.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/mpisim/cluster.cpp.o.d"
+  "/root/repo/src/mpisim/filesystem.cpp" "CMakeFiles/ftio.dir/src/mpisim/filesystem.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/mpisim/filesystem.cpp.o.d"
+  "/root/repo/src/outlier/outlier.cpp" "CMakeFiles/ftio.dir/src/outlier/outlier.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/outlier/outlier.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "CMakeFiles/ftio.dir/src/sched/simulator.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/sched/simulator.cpp.o.d"
+  "/root/repo/src/signal/autocorrelation.cpp" "CMakeFiles/ftio.dir/src/signal/autocorrelation.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/autocorrelation.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "CMakeFiles/ftio.dir/src/signal/fft.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/fft.cpp.o.d"
+  "/root/repo/src/signal/peaks.cpp" "CMakeFiles/ftio.dir/src/signal/peaks.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/peaks.cpp.o.d"
+  "/root/repo/src/signal/plan.cpp" "CMakeFiles/ftio.dir/src/signal/plan.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/plan.cpp.o.d"
+  "/root/repo/src/signal/spectrum.cpp" "CMakeFiles/ftio.dir/src/signal/spectrum.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/spectrum.cpp.o.d"
+  "/root/repo/src/signal/step_function.cpp" "CMakeFiles/ftio.dir/src/signal/step_function.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/step_function.cpp.o.d"
+  "/root/repo/src/signal/wavelet.cpp" "CMakeFiles/ftio.dir/src/signal/wavelet.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/signal/wavelet.cpp.o.d"
+  "/root/repo/src/tmio/tracer.cpp" "CMakeFiles/ftio.dir/src/tmio/tracer.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/tmio/tracer.cpp.o.d"
+  "/root/repo/src/trace/formats.cpp" "CMakeFiles/ftio.dir/src/trace/formats.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/trace/formats.cpp.o.d"
+  "/root/repo/src/trace/model.cpp" "CMakeFiles/ftio.dir/src/trace/model.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/trace/model.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/ftio.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/ftio.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/msgpack.cpp" "CMakeFiles/ftio.dir/src/util/msgpack.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/msgpack.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/ftio.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/ftio.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ftio.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/workloads/apps.cpp" "CMakeFiles/ftio.dir/src/workloads/apps.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/workloads/apps.cpp.o.d"
+  "/root/repo/src/workloads/ior.cpp" "CMakeFiles/ftio.dir/src/workloads/ior.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/workloads/ior.cpp.o.d"
+  "/root/repo/src/workloads/phase_library.cpp" "CMakeFiles/ftio.dir/src/workloads/phase_library.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/workloads/phase_library.cpp.o.d"
+  "/root/repo/src/workloads/semisynthetic.cpp" "CMakeFiles/ftio.dir/src/workloads/semisynthetic.cpp.o" "gcc" "CMakeFiles/ftio.dir/src/workloads/semisynthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

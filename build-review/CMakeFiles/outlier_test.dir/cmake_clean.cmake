@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_test.dir/tests/outlier_test.cpp.o"
+  "CMakeFiles/outlier_test.dir/tests/outlier_test.cpp.o.d"
+  "outlier_test"
+  "outlier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_analysis_test.dir/tests/signal_analysis_test.cpp.o"
+  "CMakeFiles/signal_analysis_test.dir/tests/signal_analysis_test.cpp.o.d"
+  "signal_analysis_test"
+  "signal_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_fft_test.dir/tests/signal_fft_test.cpp.o"
+  "CMakeFiles/signal_fft_test.dir/tests/signal_fft_test.cpp.o.d"
+  "signal_fft_test"
+  "signal_fft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

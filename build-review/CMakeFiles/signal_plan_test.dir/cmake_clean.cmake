@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_plan_test.dir/tests/signal_plan_test.cpp.o"
+  "CMakeFiles/signal_plan_test.dir/tests/signal_plan_test.cpp.o.d"
+  "signal_plan_test"
+  "signal_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

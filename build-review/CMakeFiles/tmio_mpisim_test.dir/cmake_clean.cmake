@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmio_mpisim_test.dir/tests/tmio_mpisim_test.cpp.o"
+  "CMakeFiles/tmio_mpisim_test.dir/tests/tmio_mpisim_test.cpp.o.d"
+  "tmio_mpisim_test"
+  "tmio_mpisim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmio_mpisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
