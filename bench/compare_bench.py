@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Diff two Google-Benchmark JSON files and fail on hot-path regressions.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
+                   [--filter REGEX]
+
+Compares real_time per benchmark name (aggregates such as *_BigO/*_RMS
+and names missing from either file are skipped, so adding or removing
+benchmarks never breaks the gate). A benchmark regresses when
+
+    current / baseline > 1 + threshold.
+
+With --normalize NAME, every time in each file is first divided by that
+file's time for NAME before comparing. Pinning NAME to a frozen
+reference kernel measured in the same run (e.g.
+BM_RfftRadix2Scalar/65536) cancels uniform machine-speed differences,
+so a baseline generated on one machine can gate runs on another: only
+changes relative to the reference kernel count.
+
+Exit status 1 if any benchmark matching --filter regressed, 0 otherwise
+(2 on malformed input). New/removed benchmarks and improvements are
+reported informationally.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """name -> (real_time, time_unit) for every plain benchmark entry."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate rows (BigO, RMS, mean/median/stddev) either lack
+        # real_time or repeat a name; keep the first plain iteration row.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if "real_time" not in bench:
+            continue
+        name = bench["name"]
+        if name not in times:
+            times[name] = (bench["real_time"], bench.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown that counts as a regression "
+        "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=".*",
+        help="regex of benchmark names the gate applies to "
+        "(others are reported but never fail)",
+    )
+    parser.add_argument(
+        "--normalize",
+        metavar="NAME",
+        default=None,
+        help="divide every time by this benchmark's time from the same "
+        "file before comparing (machine-independent gating against a "
+        "frozen reference kernel)",
+    )
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    gate = re.compile(args.filter)
+
+    if args.normalize is not None:
+        for label, times, path in (("baseline", base, args.baseline),
+                                   ("current", cur, args.current)):
+            if args.normalize not in times:
+                print(f"error: --normalize benchmark '{args.normalize}' "
+                      f"not found in {label} file {path}")
+                return 2
+            pivot = times[args.normalize][0]
+            if pivot <= 0:
+                print(f"error: --normalize pivot is non-positive in {path}")
+                return 2
+            for name in times:
+                t, _ = times[name]
+                times[name] = (t / pivot, "x-ref")
+            del times[args.normalize]  # the pivot is 1.0 by construction
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            rows.append((name, None, cur[name][0], cur[name][1], "new"))
+            continue
+        if name not in cur:
+            rows.append((name, base[name][0], None, base[name][1], "removed"))
+            continue
+        b, unit = base[name]
+        c, _ = cur[name]
+        ratio = c / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            if gate.search(name):
+                status = "REGRESSION"
+                regressions.append((name, ratio))
+            else:
+                status = "slower (ungated)"
+        elif ratio < 1.0 - args.threshold:
+            status = "faster"
+        rows.append((name, b, c, unit, f"{status}  ({ratio:.2f}x)"))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'current':>14}  note")
+    for name, b, c, unit, note in rows:
+        fmt = ".3f" if unit == "x-ref" else ".0f"
+        bs = f"{b:{fmt}} {unit}" if b is not None else "-"
+        cs = f"{c:{fmt}} {unit}" if c is not None else "-"
+        print(f"{name:<{width}}  {bs:>14}  {cs:>14}  {note}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{100 * args.threshold:.0f}%:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: no gated benchmark regressed more than "
+          f"{100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

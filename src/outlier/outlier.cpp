@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -160,6 +161,17 @@ double average_path_length(std::size_t n) {
   return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
 }
 
+/// splitmix64 finaliser: decorrelates the per-tree RNG seeds derived
+/// below. Consecutive raw seeds fed straight into mt19937_64 produce
+/// correlated early draws; the mix makes tree t's stream independent of
+/// tree t+1's.
+std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Partitions `points` (a scratch vector, clobbered) with random split
 /// values until `query` isolates; returns the path length. Iterative and
 /// allocation-free: each level shrinks `points` in place with remove_if
@@ -204,26 +216,50 @@ std::vector<double> isolation_forest_scores(
       static_cast<std::size_t>(std::ceil(std::log2(std::max<std::size_t>(sample, 2))));
   const double c = std::max(average_path_length(sample), 1e-12);
 
-  ftio::util::Rng rng(options.seed);
+  // Trees are independent given per-tree RNG streams (tree t draws from
+  // Rng(mix(seed + t)) instead of advancing one shared sequential
+  // stream), so the forest fans across worker threads. Path sums
+  // accumulate into a FIXED number of chunk partials — each chunk owns a
+  // contiguous tree range and sums it in tree order, and the final
+  // reduction adds chunks in chunk order — so the floating-point
+  // addition order, and therefore every score bit, is independent of how
+  // many threads actually ran.
+  const std::size_t trees = options.tree_count;
+  constexpr std::size_t kMaxChunks = 16;
+  const std::size_t chunks = std::min(trees, kMaxChunks);
+  std::vector<double> partial(chunks * n, 0.0);
+  ftio::util::parallel_for(
+      chunks,
+      [&](std::size_t chunk) {
+        double* acc = partial.data() + chunk * n;
+        const std::size_t t_lo = chunk * trees / chunks;
+        const std::size_t t_hi = (chunk + 1) * trees / chunks;
+        std::vector<double> subsample(sample);
+        // One scratch for every (tree, query) descent: assign() reuses
+        // its capacity, so past the first query the per-call allocation
+        // count is zero (the ROADMAP-named per-call-scratch bug was a
+        // fresh vector per recursion level of every tree of every query).
+        std::vector<double> scratch;
+        scratch.reserve(sample);
+        for (std::size_t t = t_lo; t < t_hi; ++t) {
+          ftio::util::Rng rng(mix_seed(options.seed + t));
+          for (std::size_t i = 0; i < sample; ++i) {
+            subsample[i] = values[rng.pick_index(n)];
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            scratch.assign(subsample.begin(), subsample.end());
+            acc[i] += isolation_path(scratch, values[i], rng, max_depth);
+          }
+        }
+      },
+      options.threads);
   std::vector<double> mean_path(n, 0.0);
-  std::vector<double> subsample(sample);
-  // One scratch for every (tree, query) descent: assign() reuses its
-  // capacity, so after the first query the per-call allocation count is
-  // zero (the ROADMAP-named per-call-scratch bug was a fresh vector per
-  // recursion level of every tree of every query).
-  std::vector<double> scratch;
-  scratch.reserve(sample);
-  for (std::size_t t = 0; t < options.tree_count; ++t) {
-    for (std::size_t i = 0; i < sample; ++i) {
-      subsample[i] = values[rng.pick_index(n)];
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      scratch.assign(subsample.begin(), subsample.end());
-      mean_path[i] += isolation_path(scratch, values[i], rng, max_depth);
-    }
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const double* acc = partial.data() + chunk * n;
+    for (std::size_t i = 0; i < n; ++i) mean_path[i] += acc[i];
   }
   for (std::size_t i = 0; i < n; ++i) {
-    const double e = mean_path[i] / static_cast<double>(options.tree_count);
+    const double e = mean_path[i] / static_cast<double>(trees);
     scores[i] = std::pow(2.0, -e / c);
   }
   return scores;

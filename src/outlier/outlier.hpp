@@ -72,6 +72,12 @@ struct IsolationForestOptions {
   std::size_t subsample_size = 64;  ///< points per tree (capped at n)
   double score_threshold = 0.6;     ///< anomaly score above which a point is an outlier
   std::uint64_t seed = 42;          ///< RNG seed for reproducible forests
+  /// Worker threads for the tree loop (0 = hardware concurrency). Each
+  /// tree runs its own seed-derived RNG stream and partial path sums are
+  /// reduced in a fixed chunk order, so scores are bit-identical for
+  /// every setting. Defaults to serial: the engine batch path already
+  /// fans traces across cores, and nesting thread pools oversubscribes.
+  unsigned threads = 1;
 };
 
 /// Per-point anomaly scores in [0, 1] (higher = more anomalous), using the

@@ -1,5 +1,7 @@
 #include "signal/plan.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <future>
 #include <list>
@@ -32,7 +34,7 @@ Complex unit_root(std::size_t k, std::size_t n) {
 
 /// Bit-reversal permutation for a power-of-two n, the classic in-place
 /// increment loop stored once. Shared by the plan constructor and the
-/// detail:: radix-2 reference tables (the kernels are independent; the
+/// detail:: reference tables (the kernels are independent; the
 /// permutation is just data).
 std::vector<std::uint32_t> build_bitrev(std::size_t n) {
   std::vector<std::uint32_t> bitrev(n);
@@ -47,19 +49,45 @@ std::vector<std::uint32_t> build_bitrev(std::size_t n) {
   return bitrev;
 }
 
+/// Calls fn(p) for every node of length `len` in the split-radix
+/// recursion tree over a size-n root — the classic is/id block
+/// enumeration (Sorensen et al.): positions of size-len sub-transforms
+/// in bit-reversed data are exactly these scattered arithmetic runs.
+template <class Fn>
+void for_each_split_node(std::size_t n, std::size_t len, Fn&& fn) {
+  std::size_t ix = 0;
+  std::size_t id = 2 * len;
+  while (ix < n) {
+    for (std::size_t p = ix; p < n; p += id) fn(p);
+    ix = 2 * id - len;
+    id *= 4;
+  }
+}
+
 /// Per-thread scratch. Each member is dedicated to one call site so that
 /// nested transforms (forward_real_half -> half plan -> Bluestein ->
 /// power-of-two core) never step on each other's buffer:
-///   split core — re/im: the planar real/imag lanes every power-of-two
-///                transform (and the packed real fast path) runs on
+///   split core — re/im: the planar real/imag lanes every interleaved
+///                power-of-two transform (and the packed real path) runs
+///                on; planar entry points run in caller buffers instead
+///   re2/im2    — secondary planar scratch: the linearised fold of the
+///                blocked inverse-real path, and the copy that makes the
+///                planar entry points alias-safe
+///   hre/him    — half-spectrum lanes backing the interleaved
+///                rfft_half/irfft_half adapters
 ///   bluestein  — conv: the m-point convolution buffer
 ///   inverse    — conj: conjugated input for the non-pow2 inverse
 ///   real path  — packed/half: the N/2 packed signal and its spectrum
-///                (also the complexified input for the odd-N fallback)
+///                (also the complexified input for the odd-N fallback,
+///                and the interleaved edge of the non-pow2 planar path)
 /// Buffers only grow, so steady-state transforms do no allocation at all.
 struct Workspace {
   std::vector<double> re;
   std::vector<double> im;
+  std::vector<double> re2;
+  std::vector<double> im2;
+  std::vector<double> hre;
+  std::vector<double> him;
   std::vector<Complex> conv;
   std::vector<Complex> conj;
   std::vector<Complex> packed;
@@ -71,7 +99,127 @@ Workspace& workspace() {
   return ws;
 }
 
+// ---------------------------------------------------------------------------
+// Bit-reversal permutation: simple and cache-blocked (COBRA) forms
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kTileBits = 5;
+constexpr std::size_t kTile = std::size_t{1} << kTileBits;  // 32x32 tiles
+
+/// Blocked out[i] = in[bitrev[i]] for n >= 2^(2*kTileBits). Index i is
+/// split (hi:mid:lo) with kTileBits hi/lo bits; for each mid value the
+/// 32x32 (hi, lo) tile is gathered with stride-1 reads, transposed
+/// through an L1-resident buffer, and written with stride-1 stores —
+/// both big arrays stream one 256-byte run at a time instead of striding
+/// across the whole array per element (Carter & Gatlin's COBRA).
+void permute_planar_blocked(const std::uint32_t* bitrev, std::size_t n,
+                            const double* in_re, const double* in_im,
+                            double* out_re, double* out_im) {
+  const unsigned sh =
+      static_cast<unsigned>(std::countr_zero(n)) - kTileBits;
+  const std::size_t mid = n >> (2 * kTileBits);
+  std::uint8_t revt[kTile];  // kTileBits-bit reversal, read off the table
+  for (std::size_t i = 0; i < kTile; ++i) {
+    revt[i] = static_cast<std::uint8_t>(bitrev[i] >> sh);
+  }
+  double tre[kTile * kTile];
+  double tim[kTile * kTile];
+  for (std::size_t m = 0; m < mid; ++m) {
+    const std::size_t mr = bitrev[m << kTileBits] >> kTileBits;
+    for (std::size_t jh = 0; jh < kTile; ++jh) {
+      const double* __restrict sr = in_re + (jh << sh) + (m << kTileBits);
+      const double* __restrict si = in_im + (jh << sh) + (m << kTileBits);
+      for (std::size_t jl = 0; jl < kTile; ++jl) {
+        const std::size_t slot =
+            static_cast<std::size_t>(revt[jl]) * kTile + jh;
+        tre[slot] = sr[jl];
+        tim[slot] = si[jl];
+      }
+    }
+    for (std::size_t ih = 0; ih < kTile; ++ih) {
+      double* __restrict dr = out_re + (ih << sh) + (mr << kTileBits);
+      double* __restrict di = out_im + (ih << sh) + (mr << kTileBits);
+      const double* __restrict rr = tre + ih * kTile;
+      const double* __restrict ri = tim + ih * kTile;
+      for (std::size_t il = 0; il < kTile; ++il) {
+        dr[il] = rr[revt[il]];
+        di[il] = ri[revt[il]];
+      }
+    }
+  }
+}
+
+/// Blocked deinterleaving gather, same tiling with paired source reads.
+void permute_pairs_blocked(const std::uint32_t* bitrev, std::size_t n,
+                           const double* pairs, double* out_re,
+                           double* out_im) {
+  const unsigned sh =
+      static_cast<unsigned>(std::countr_zero(n)) - kTileBits;
+  const std::size_t mid = n >> (2 * kTileBits);
+  std::uint8_t revt[kTile];
+  for (std::size_t i = 0; i < kTile; ++i) {
+    revt[i] = static_cast<std::uint8_t>(bitrev[i] >> sh);
+  }
+  double tre[kTile * kTile];
+  double tim[kTile * kTile];
+  for (std::size_t m = 0; m < mid; ++m) {
+    const std::size_t mr = bitrev[m << kTileBits] >> kTileBits;
+    for (std::size_t jh = 0; jh < kTile; ++jh) {
+      const double* __restrict src =
+          pairs + 2 * ((jh << sh) + (m << kTileBits));
+      for (std::size_t jl = 0; jl < kTile; ++jl) {
+        const std::size_t slot =
+            static_cast<std::size_t>(revt[jl]) * kTile + jh;
+        tre[slot] = src[2 * jl];
+        tim[slot] = src[2 * jl + 1];
+      }
+    }
+    for (std::size_t ih = 0; ih < kTile; ++ih) {
+      double* __restrict dr = out_re + (ih << sh) + (mr << kTileBits);
+      double* __restrict di = out_im + (ih << sh) + (mr << kTileBits);
+      const double* __restrict rr = tre + ih * kTile;
+      const double* __restrict ri = tim + ih * kTile;
+      for (std::size_t il = 0; il < kTile; ++il) {
+        dr[il] = rr[revt[il]];
+        di[il] = ri[revt[il]];
+      }
+    }
+  }
+}
+
 }  // namespace
+
+namespace detail {
+
+void bitrev_permute_planar(const std::uint32_t* bitrev, std::size_t n,
+                           const double* in_re, const double* in_im,
+                           double* out_re, double* out_im) {
+  if (n >= kBlockedBitrevMinN) {
+    permute_planar_blocked(bitrev, n, in_re, in_im, out_re, out_im);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = bitrev[i];
+    out_re[i] = in_re[s];
+    out_im[i] = in_im[s];
+  }
+}
+
+void bitrev_permute_pairs(const std::uint32_t* bitrev, std::size_t n,
+                          const double* pairs, double* out_re,
+                          double* out_im) {
+  if (n >= kBlockedBitrevMinN) {
+    permute_pairs_blocked(bitrev, n, pairs, out_re, out_im);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = 2 * static_cast<std::size_t>(bitrev[i]);
+    out_re[i] = pairs[s];
+    out_im[i] = pairs[s + 1];
+  }
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // FftPlan
@@ -85,148 +233,202 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
   if (pow2_ && n_ >= 2) {
     bitrev_ = build_bitrev(n_);
 
-    // Butterfly schedule: stages of length 2, 4, ..., N fused in pairs
-    // into radix-4 passes. An odd stage count leaves the trivial
-    // twiddle-free length-2 stage as a radix-2 lead; an even count starts
-    // with the equally twiddle-free fused (2,4) pass.
-    unsigned k = 0;
-    while ((std::size_t{1} << k) < n_) ++k;
-    std::size_t stage = 1;  // next unfused stage s (length 2^s)
-    if (k % 2 == 1) {
-      lead_radix2_ = true;
-      stage = 2;
-    } else {
-      lead_radix4_ = true;
-      stage = 3;
-    }
-    for (; stage + 1 <= k; stage += 2) {
-      const std::size_t len = std::size_t{1} << stage;  // fuse (len, 2*len)
-      Radix4Pass pass;
-      pass.half = len / 2;
-      pass.w1re.resize(pass.half);
-      pass.w1im.resize(pass.half);
-      pass.w2re.resize(pass.half);
-      pass.w2im.resize(pass.half);
-      for (std::size_t j = 0; j < pass.half; ++j) {
-        const Complex w1 = unit_root(j, len);
-        const Complex w2 = unit_root(j, 2 * len);
-        pass.w1re[j] = w1.real();
-        pass.w1im[j] = w1.imag();
-        pass.w2re[j] = w2.real();
-        pass.w2im[j] = w2.imag();
+    if (n_ >= 4) {
+      // Leaf schedule for the fused (2,4) base pass: enumerate the
+      // size-2 and size-4 nodes of the split-radix tree and type every
+      // aligned 4-block. The tree guarantees each block is either one
+      // size-4 node or a pair of size-2 nodes; expect() pins that
+      // invariant so a schedule bug fails at plan build, not as silent
+      // numerical corruption.
+      std::vector<std::uint8_t> is2(n_ / 2, 0);
+      for_each_split_node(n_, 2, [&](std::size_t p) { is2[p / 2] = 1; });
+      base4_.assign(n_ / 4, 0);
+      for_each_split_node(n_, 4, [&](std::size_t p) { base4_[p / 4] = 1; });
+      for (std::size_t b = 0; b < base4_.size(); ++b) {
+        if (base4_[b]) {
+          ftio::util::expect(is2[2 * b] && !is2[2 * b + 1],
+                             "FftPlan: bad split-radix leaf schedule");
+        } else {
+          ftio::util::expect(is2[2 * b] && is2[2 * b + 1],
+                             "FftPlan: bad split-radix leaf schedule");
+        }
       }
-      passes_.push_back(std::move(pass));
+    }
+
+    // Combine stages of length 8..N with the (w^k, w^{3k}) twiddle pair.
+    for (std::size_t len = 8; len <= n_; len <<= 1) {
+      SplitStage stage;
+      stage.len = len;
+      const std::size_t quarter = len / 4;
+      stage.w1re.resize(quarter);
+      stage.w1im.resize(quarter);
+      stage.w3re.resize(quarter);
+      stage.w3im.resize(quarter);
+      for (std::size_t k = 0; k < quarter; ++k) {
+        const Complex w1 = unit_root(k, len);
+        const Complex w3 = unit_root(3 * k, len);
+        stage.w1re[k] = w1.real();
+        stage.w1im[k] = w1.imag();
+        stage.w3re[k] = w3.real();
+        stage.w3im[k] = w3.imag();
+      }
+      stages_.push_back(std::move(stage));
     }
   } else if (!pow2_) {
     m_ = next_power_of_two(2 * n_ - 1);
   }
 }
 
+namespace {
+
+/// One split-radix L-combine over planar lanes rooted at `re`/`im`
+/// (an L-long block in bit-reversed order whose halves/quarters already
+/// hold their sub-spectra): U = first half, Z = third quarter, Z' =
+/// fourth quarter. For k < L/4, with w = exp(-2*pi*i*k/L):
+///   t1 = w^k Z_k + w^{3k} Z'_k        t2 = w^k Z_k - w^{3k} Z'_k
+///   X_k = U_k + t1                    X_{k+L/2}  = U_k - t1
+///   X_{k+L/4} = U_{k+L/4} -+ i t2     X_{k+3L/4} = U_{k+L/4} +- i t2
+/// (upper signs forward, lower inverse; inverse also conjugates the
+/// twiddles). Four loads and four stores per k across four disjoint
+/// stride-1 lanes — the shape auto-vectorisers handle.
+template <bool Inv>
+void split_combine(double* re, double* im, std::size_t quarter,
+                   const double* w1re, const double* w1im,
+                   const double* w3re, const double* w3im) {
+  double* __restrict ur = re;
+  double* __restrict ui = im;
+  double* __restrict vr = re + quarter;
+  double* __restrict vi = im + quarter;
+  double* __restrict zr = re + 2 * quarter;
+  double* __restrict zi = im + 2 * quarter;
+  double* __restrict sr = re + 3 * quarter;
+  double* __restrict si = im + 3 * quarter;
+  const double* __restrict w1r = w1re;
+  const double* __restrict w1i = w1im;
+  const double* __restrict w3r = w3re;
+  const double* __restrict w3i = w3im;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const double a1r = w1r[k];
+    const double a1i = Inv ? -w1i[k] : w1i[k];
+    const double a3r = w3r[k];
+    const double a3i = Inv ? -w3i[k] : w3i[k];
+    const double tzr = a1r * zr[k] - a1i * zi[k];
+    const double tzi = a1r * zi[k] + a1i * zr[k];
+    const double tsr = a3r * sr[k] - a3i * si[k];
+    const double tsi = a3r * si[k] + a3i * sr[k];
+    const double t1r = tzr + tsr, t1i = tzi + tsi;
+    const double t2r = tzr - tsr, t2i = tzi - tsi;
+    const double u0r = ur[k], u0i = ui[k];
+    const double u1r = vr[k], u1i = vi[k];
+    ur[k] = u0r + t1r;
+    ui[k] = u0i + t1i;
+    zr[k] = u0r - t1r;
+    zi[k] = u0i - t1i;
+    if constexpr (Inv) {
+      vr[k] = u1r - t2i;
+      vi[k] = u1i + t2r;
+      sr[k] = u1r + t2i;
+      si[k] = u1i - t2r;
+    } else {
+      vr[k] = u1r + t2i;
+      vi[k] = u1i - t2r;
+      sr[k] = u1r - t2i;
+      si[k] = u1i + t2r;
+    }
+  }
+}
+
+}  // namespace
+
+template <bool Inv>
+void FftPlan::split_iterative(double* re, double* im, std::size_t len,
+                              std::size_t pos) const {
+  double* __restrict r = re + pos;
+  double* __restrict m = im + pos;
+  if (len == 2) {
+    const double ar = r[0], ai = m[0];
+    const double br = r[1], bi = m[1];
+    r[0] = ar + br;
+    m[0] = ai + bi;
+    r[1] = ar - br;
+    m[1] = ai - bi;
+    return;
+  }
+  // Fused (2,4) base pass: every 4-block is either one 4-point DFT
+  // (size-4 node, type 1) or two independent radix-2 butterflies (a pair
+  // of size-2 nodes, type 0); the radix-2 halves t0..t3 are shared.
+  const std::uint8_t* __restrict t4 = base4_.data() + pos / 4;
+  for (std::size_t i = 0, b = 0; i < len; i += 4, ++b) {
+    const double ar = r[i], ai = m[i];
+    const double br = r[i + 1], bi = m[i + 1];
+    const double cr = r[i + 2], ci = m[i + 2];
+    const double dr = r[i + 3], di = m[i + 3];
+    const double t0r = ar + br, t0i = ai + bi;
+    const double t1r = ar - br, t1i = ai - bi;
+    const double t2r = cr + dr, t2i = ci + di;
+    const double t3r = cr - dr, t3i = ci - di;
+    if (t4[b]) {
+      r[i] = t0r + t2r;
+      m[i] = t0i + t2i;
+      r[i + 2] = t0r - t2r;
+      m[i + 2] = t0i - t2i;
+      if constexpr (Inv) {
+        r[i + 1] = t1r - t3i;
+        m[i + 1] = t1i + t3r;
+        r[i + 3] = t1r + t3i;
+        m[i + 3] = t1i - t3r;
+      } else {
+        r[i + 1] = t1r + t3i;
+        m[i + 1] = t1i - t3r;
+        r[i + 3] = t1r - t3i;
+        m[i + 3] = t1i + t3r;
+      }
+    } else {
+      r[i] = t0r;
+      m[i] = t0i;
+      r[i + 1] = t1r;
+      m[i + 1] = t1i;
+      r[i + 2] = t2r;
+      m[i + 2] = t2i;
+      r[i + 3] = t3r;
+      m[i + 3] = t3i;
+    }
+  }
+  // Combine stages 8..len over the nodes the is/id enumeration names.
+  for (const auto& st : stages_) {
+    if (st.len > len) break;
+    for_each_split_node(len, st.len, [&](std::size_t p) {
+      split_combine<Inv>(r + p, m + p, st.len / 4, st.w1re.data(),
+                         st.w1im.data(), st.w3re.data(), st.w3im.data());
+    });
+  }
+}
+
+template <bool Inv>
+void FftPlan::split_subtree(double* re, double* im, std::size_t len,
+                            std::size_t pos) const {
+  if (len <= detail::kSplitRadixLeafLen) {
+    split_iterative<Inv>(re, im, len, pos);
+    return;
+  }
+  // Depth-first: finish each half/quarter while it is cache-resident,
+  // then run the single top combine over the whole block.
+  const std::size_t half = len / 2;
+  const std::size_t quarter = len / 4;
+  split_subtree<Inv>(re, im, half, pos);
+  split_subtree<Inv>(re, im, quarter, pos + half);
+  split_subtree<Inv>(re, im, quarter, pos + half + quarter);
+  const auto& st =
+      stages_[static_cast<std::size_t>(std::countr_zero(len)) - 3];
+  split_combine<Inv>(re + pos, im + pos, quarter, st.w1re.data(),
+                     st.w1im.data(), st.w3re.data(), st.w3im.data());
+}
+
 void FftPlan::split_passes(double* re, double* im, bool invert) const {
-  const std::size_t n = n_;
-  const auto run = [&]<bool Inv>() {
-    if (lead_radix2_) {
-      // Stage of length 2: every twiddle is 1.
-      for (std::size_t i = 0; i + 1 < n; i += 2) {
-        const double ar = re[i], ai = im[i];
-        const double br = re[i + 1], bi = im[i + 1];
-        re[i] = ar + br;
-        im[i] = ai + bi;
-        re[i + 1] = ar - br;
-        im[i + 1] = ai - bi;
-      }
-    } else if (lead_radix4_) {
-      // Fused stages (2, 4): plain 4-point DFTs, no twiddle loads.
-      for (std::size_t i = 0; i + 3 < n; i += 4) {
-        const double ar = re[i], ai = im[i];
-        const double br = re[i + 1], bi = im[i + 1];
-        const double cr = re[i + 2], ci = im[i + 2];
-        const double dr = re[i + 3], di = im[i + 3];
-        const double t0r = ar + br, t0i = ai + bi;
-        const double t1r = ar - br, t1i = ai - bi;
-        const double t2r = cr + dr, t2i = ci + di;
-        const double t3r = cr - dr, t3i = ci - di;
-        re[i] = t0r + t2r;
-        im[i] = t0i + t2i;
-        re[i + 2] = t0r - t2r;
-        im[i + 2] = t0i - t2i;
-        if constexpr (Inv) {
-          re[i + 1] = t1r - t3i;
-          im[i + 1] = t1i + t3r;
-          re[i + 3] = t1r + t3i;
-          im[i + 3] = t1i - t3r;
-        } else {
-          re[i + 1] = t1r + t3i;
-          im[i + 1] = t1i - t3r;
-          re[i + 3] = t1r - t3i;
-          im[i + 3] = t1i + t3r;
-        }
-      }
-    }
-    // Generic fused passes: stage pair (L, 2L) as one radix-4 sweep over
-    // blocks of 2L. Within a block the four quarters are contiguous, so
-    // the j loop below is pure stride-1 double arithmetic over disjoint
-    // lanes — exactly the shape auto-vectorisers handle.
-    for (const auto& pass : passes_) {
-      const std::size_t half = pass.half;  // L/2
-      const std::size_t block = 4 * half;  // 2L
-      const double* __restrict w1r = pass.w1re.data();
-      const double* __restrict w1i = pass.w1im.data();
-      const double* __restrict w2r = pass.w2re.data();
-      const double* __restrict w2i = pass.w2im.data();
-      for (std::size_t i = 0; i < n; i += block) {
-        double* __restrict re0 = re + i;
-        double* __restrict im0 = im + i;
-        double* __restrict re1 = re0 + half;
-        double* __restrict im1 = im0 + half;
-        double* __restrict re2 = re0 + 2 * half;
-        double* __restrict im2 = im0 + 2 * half;
-        double* __restrict re3 = re0 + 3 * half;
-        double* __restrict im3 = im0 + 3 * half;
-        for (std::size_t j = 0; j < half; ++j) {
-          const double w1rj = w1r[j];
-          const double w1ij = Inv ? -w1i[j] : w1i[j];
-          const double w2rj = w2r[j];
-          const double w2ij = Inv ? -w2i[j] : w2i[j];
-          // Stage L: butterflies (0,1) and (2,3) with twiddle w1.
-          const double br = w1rj * re1[j] - w1ij * im1[j];
-          const double bi = w1rj * im1[j] + w1ij * re1[j];
-          const double dr = w1rj * re3[j] - w1ij * im3[j];
-          const double di = w1rj * im3[j] + w1ij * re3[j];
-          const double t0r = re0[j] + br, t0i = im0[j] + bi;
-          const double t1r = re0[j] - br, t1i = im0[j] - bi;
-          const double t2r = re2[j] + dr, t2i = im2[j] + di;
-          const double t3r = re2[j] - dr, t3i = im2[j] - di;
-          // Stage 2L: butterflies (0,2) with w2 and (1,3) with -i*w2
-          // (+i*w2 for the inverse) — the -i is folded into the output
-          // shuffle instead of a third twiddle table.
-          const double u2r = w2rj * t2r - w2ij * t2i;
-          const double u2i = w2rj * t2i + w2ij * t2r;
-          const double u3r = w2rj * t3r - w2ij * t3i;
-          const double u3i = w2rj * t3i + w2ij * t3r;
-          re0[j] = t0r + u2r;
-          im0[j] = t0i + u2i;
-          re2[j] = t0r - u2r;
-          im2[j] = t0i - u2i;
-          if constexpr (Inv) {
-            re1[j] = t1r - u3i;
-            im1[j] = t1i + u3r;
-            re3[j] = t1r + u3i;
-            im3[j] = t1i - u3r;
-          } else {
-            re1[j] = t1r + u3i;
-            im1[j] = t1i - u3r;
-            re3[j] = t1r - u3i;
-            im3[j] = t1i + u3r;
-          }
-        }
-      }
-    }
-  };
   if (invert) {
-    run.template operator()<true>();
+    split_subtree<true>(re, im, n_, 0);
   } else {
-    run.template operator()<false>();
+    split_subtree<false>(re, im, n_, 0);
   }
 }
 
@@ -239,18 +441,16 @@ void FftPlan::pow2_transform(std::span<const Complex> in,
   }
   // Deinterleave into planar lanes, applying the bit-reversal permutation
   // during the gather (the input span is fully consumed before any write
-  // to out, so in and out may alias).
+  // to out, so in and out may alias). std::complex guarantees the
+  // (re, im) pair layout the pairs gather reads.
   auto& ws = workspace();
   ws.re.resize(n);
   ws.im.resize(n);
   double* re = ws.re.data();
   double* im = ws.im.data();
-  const std::uint32_t* bp = bitrev_.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Complex v = in[bp[i]];
-    re[i] = v.real();
-    im[i] = v.imag();
-  }
+  detail::bitrev_permute_pairs(bitrev_.data(), n,
+                               reinterpret_cast<const double*>(in.data()),
+                               re, im);
   split_passes(re, im, invert);
   for (std::size_t i = 0; i < n; ++i) out[i] = Complex(re[i], im[i]);
 }
@@ -288,9 +488,12 @@ void FftPlan::ensure_real_tables() const {
     // The packed real path always runs the half plan's complex transform,
     // so finish its lazy state here rather than on first use.
     half_->prepare(/*for_real_input=*/false);
-    real_twiddle_.resize(n_ / 2 + 1);
+    rtw_re_.resize(n_ / 2 + 1);
+    rtw_im_.resize(n_ / 2 + 1);
     for (std::size_t k = 0; k <= n_ / 2; ++k) {
-      real_twiddle_[k] = unit_root(k, n_);
+      const Complex w = unit_root(k, n_);
+      rtw_re_[k] = w.real();
+      rtw_im_[k] = w.imag();
     }
   });
 }
@@ -353,6 +556,93 @@ void FftPlan::inverse(std::span<const Complex> in,
   for (auto& v : out) v = std::conj(v) * scale;
 }
 
+void FftPlan::forward_planar(std::span<const double> in_re,
+                             std::span<const double> in_im,
+                             std::span<double> out_re,
+                             std::span<double> out_im) const {
+  ftio::util::expect(in_re.size() == n_ && in_im.size() == n_ &&
+                         out_re.size() == n_ && out_im.size() == n_,
+                     "FftPlan::forward_planar: size mismatch");
+  if (n_ == 1) {
+    out_re[0] = in_re[0];
+    out_im[0] = in_im[0];
+    return;
+  }
+  auto& ws = workspace();
+  if (pow2_) {
+    const double* sr = in_re.data();
+    const double* si = in_im.data();
+    if (sr == out_re.data() || si == out_im.data()) {
+      // In-place call: the permuted gather cannot run in place, so stage
+      // the input through scratch (full aliasing only; partial overlap
+      // is undefined).
+      ws.re2.assign(in_re.begin(), in_re.end());
+      ws.im2.assign(in_im.begin(), in_im.end());
+      sr = ws.re2.data();
+      si = ws.im2.data();
+    }
+    detail::bitrev_permute_planar(bitrev_.data(), n_, sr, si,
+                                  out_re.data(), out_im.data());
+    split_passes(out_re.data(), out_im.data(), /*invert=*/false);
+    return;
+  }
+  // Non power-of-two: Bluestein runs on the interleaved scratch edge.
+  ws.packed.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    ws.packed[i] = Complex(in_re[i], in_im[i]);
+  }
+  ws.half.resize(n_);
+  bluestein_forward(ws.packed, ws.half);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out_re[i] = ws.half[i].real();
+    out_im[i] = ws.half[i].imag();
+  }
+}
+
+void FftPlan::inverse_planar(std::span<const double> in_re,
+                             std::span<const double> in_im,
+                             std::span<double> out_re,
+                             std::span<double> out_im) const {
+  ftio::util::expect(in_re.size() == n_ && in_im.size() == n_ &&
+                         out_re.size() == n_ && out_im.size() == n_,
+                     "FftPlan::inverse_planar: size mismatch");
+  if (n_ == 1) {
+    out_re[0] = in_re[0];
+    out_im[0] = in_im[0];
+    return;
+  }
+  auto& ws = workspace();
+  const double scale = 1.0 / static_cast<double>(n_);
+  if (pow2_) {
+    const double* sr = in_re.data();
+    const double* si = in_im.data();
+    if (sr == out_re.data() || si == out_im.data()) {
+      ws.re2.assign(in_re.begin(), in_re.end());
+      ws.im2.assign(in_im.begin(), in_im.end());
+      sr = ws.re2.data();
+      si = ws.im2.data();
+    }
+    detail::bitrev_permute_planar(bitrev_.data(), n_, sr, si,
+                                  out_re.data(), out_im.data());
+    split_passes(out_re.data(), out_im.data(), /*invert=*/true);
+    for (std::size_t i = 0; i < n_; ++i) {
+      out_re[i] *= scale;
+      out_im[i] *= scale;
+    }
+    return;
+  }
+  ws.packed.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    ws.packed[i] = Complex(in_re[i], in_im[i]);
+  }
+  ws.half.resize(n_);
+  inverse(ws.packed, ws.half);  // conjugation trick + 1/N inside
+  for (std::size_t i = 0; i < n_; ++i) {
+    out_re[i] = ws.half[i].real();
+    out_im[i] = ws.half[i].imag();
+  }
+}
+
 void FftPlan::forward_real(std::span<const double> in,
                            std::span<Complex> out) const {
   ftio::util::expect(in.size() == n_ && out.size() == n_,
@@ -380,8 +670,27 @@ void FftPlan::forward_real_half(std::span<const double> in,
                                 std::span<Complex> out) const {
   ftio::util::expect(in.size() == n_ && out.size() == n_ / 2 + 1,
                      "FftPlan::forward_real_half: size mismatch");
+  // Thin adapter: run the planar path into the half-spectrum scratch
+  // lanes and interleave at the edge.
+  auto& ws = workspace();
+  const std::size_t bins = n_ / 2 + 1;
+  ws.hre.resize(bins);
+  ws.him.resize(bins);
+  forward_real_half_planar(in, ws.hre, ws.him);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out[k] = Complex(ws.hre[k], ws.him[k]);
+  }
+}
+
+void FftPlan::forward_real_half_planar(std::span<const double> in,
+                                       std::span<double> out_re,
+                                       std::span<double> out_im) const {
+  ftio::util::expect(in.size() == n_ && out_re.size() == n_ / 2 + 1 &&
+                         out_im.size() == n_ / 2 + 1,
+                     "FftPlan::forward_real_half_planar: size mismatch");
   if (n_ == 1) {
-    out[0] = Complex(in[0], 0.0);
+    out_re[0] = in[0];
+    out_im[0] = 0.0;
     return;
   }
   auto& ws = workspace();
@@ -391,25 +700,42 @@ void FftPlan::forward_real_half(std::span<const double> in,
     for (std::size_t i = 0; i < n_; ++i) ws.packed[i] = Complex(in[i], 0.0);
     ws.half.resize(n_);
     forward(ws.packed, ws.half);
-    std::copy(ws.half.begin(), ws.half.begin() + n_ / 2 + 1, out.begin());
+    for (std::size_t k = 0; k <= n_ / 2; ++k) {
+      out_re[k] = ws.half[k].real();
+      out_im[k] = ws.half[k].imag();
+    }
     return;
   }
 
   // Pack x[2j] + i*x[2j+1] into an N/2-point signal, transform it, then
   // untangle the single-sided even/odd spectra with the precomputed
-  // unpack twiddles. The mirror bins X[N-k] are never formed. `z` reads
-  // bin k of the packed transform from whichever buffer the branch below
-  // produced it in.
+  // unpack twiddles. The mirror bins X[N-k] are never formed. `zre`/`zim`
+  // read bin k of the packed transform from whichever buffer the branch
+  // below produced it in.
   ensure_real_tables();
   const std::size_t h = n_ / 2;
-  const auto unpack_half = [&](auto&& z) {
-    const Complex* tw = real_twiddle_.data();
-    for (std::size_t k = 0; k <= h; ++k) {
-      const Complex zk = z(k % h);
-      const Complex zmk = std::conj(z((h - k) % h));
-      const Complex even = 0.5 * (zk + zmk);
-      const Complex odd = Complex(0.0, -0.5) * (zk - zmk);
-      out[k] = even + tw[k] * odd;
+  const auto unpack = [&](auto&& zre, auto&& zim) {
+    const double* __restrict twr = rtw_re_.data();
+    const double* __restrict twi = rtw_im_.data();
+    // DC and Nyquist both read bin 0 of the packed transform (k and h-k
+    // wrap to 0); peeling them keeps the interior loop free of the
+    // index-wrapping modulo — two hardware divides per bin that used to
+    // dominate the whole unpack at large N.
+    const double z0r = zre(std::size_t{0}), z0i = zim(std::size_t{0});
+    out_re[0] = z0r + z0i;
+    out_im[0] = 0.0;
+    out_re[h] = z0r - z0i;
+    out_im[h] = 0.0;
+    for (std::size_t k = 1; k < h; ++k) {
+      const double zkr = zre(k), zki = zim(k);
+      const double zmr = zre(h - k), zmi = -zim(h - k);
+      const double er = 0.5 * (zkr + zmr);
+      const double ei = 0.5 * (zki + zmi);
+      // odd = -i/2 * (z_k - conj(z_{h-k}))
+      const double odr = 0.5 * (zki - zmi);
+      const double odi = -0.5 * (zkr - zmr);
+      out_re[k] = er + twr[k] * odr - twi[k] * odi;
+      out_im[k] = ei + twr[k] * odi + twi[k] * odr;
     }
   };
   if (half_->pow2_) {
@@ -423,15 +749,12 @@ void FftPlan::forward_real_half(std::span<const double> in,
       re[0] = in[0];
       im[0] = in[1];
     } else {
-      const std::uint32_t* bp = half_->bitrev_.data();
-      for (std::size_t j = 0; j < h; ++j) {
-        const std::size_t s = 2 * static_cast<std::size_t>(bp[j]);
-        re[j] = in[s];
-        im[j] = in[s + 1];
-      }
+      detail::bitrev_permute_pairs(half_->bitrev_.data(), h, in.data(), re,
+                                   im);
       half_->split_passes(re, im, /*invert=*/false);
     }
-    unpack_half([&](std::size_t k) { return Complex(re[k], im[k]); });
+    unpack([&](std::size_t k) { return re[k]; },
+           [&](std::size_t k) { return im[k]; });
     return;
   }
 
@@ -443,15 +766,35 @@ void FftPlan::forward_real_half(std::span<const double> in,
     ws.packed[j] = Complex(in[2 * j], in[2 * j + 1]);
   }
   half_->forward(ws.packed, ws.half);
-  unpack_half([&](std::size_t k) { return ws.half[k]; });
+  unpack([&](std::size_t k) { return ws.half[k].real(); },
+         [&](std::size_t k) { return ws.half[k].imag(); });
 }
 
 void FftPlan::inverse_real_half(std::span<const Complex> in,
                                 std::span<double> out) const {
   ftio::util::expect(in.size() == n_ / 2 + 1 && out.size() == n_,
                      "FftPlan::inverse_real_half: size mismatch");
+  // Thin adapter: deinterleave the half spectrum into the scratch lanes
+  // and run the planar path.
+  auto& ws = workspace();
+  const std::size_t bins = n_ / 2 + 1;
+  ws.hre.resize(bins);
+  ws.him.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    ws.hre[k] = in[k].real();
+    ws.him[k] = in[k].imag();
+  }
+  inverse_real_half_planar(ws.hre, ws.him, out);
+}
+
+void FftPlan::inverse_real_half_planar(std::span<const double> in_re,
+                                       std::span<const double> in_im,
+                                       std::span<double> out) const {
+  ftio::util::expect(in_re.size() == n_ / 2 + 1 &&
+                         in_im.size() == n_ / 2 + 1 && out.size() == n_,
+                     "FftPlan::inverse_real_half_planar: size mismatch");
   if (n_ == 1) {
-    out[0] = in[0].real();
+    out[0] = in_re[0];
     return;
   }
   auto& ws = workspace();
@@ -461,10 +804,10 @@ void FftPlan::inverse_real_half(std::span<const Complex> in,
     // noise and dropped.
     const std::size_t h = n_ / 2;
     ws.packed.resize(n_);
-    ws.packed[0] = Complex(in[0].real(), 0.0);
+    ws.packed[0] = Complex(in_re[0], 0.0);
     for (std::size_t k = 1; k <= h; ++k) {
-      ws.packed[k] = in[k];
-      ws.packed[n_ - k] = std::conj(in[k]);
+      ws.packed[k] = Complex(in_re[k], in_im[k]);
+      ws.packed[n_ - k] = Complex(in_re[k], -in_im[k]);
     }
     ws.half.resize(n_);
     inverse(ws.packed, ws.half);
@@ -479,16 +822,25 @@ void FftPlan::inverse_real_half(std::span<const Complex> in,
   // zero — a real signal cannot produce them.
   ensure_real_tables();
   const std::size_t h = n_ / 2;
-  const Complex x0(in[0].real(), 0.0);
-  const Complex xh(in[h].real(), 0.0);
-  const Complex* tw = real_twiddle_.data();
-  const auto z_at = [&](std::size_t k) {
-    const Complex xk = k == 0 ? x0 : in[k];
-    const Complex xmk = std::conj(k == 0 ? xh : in[h - k]);
-    const Complex even = 0.5 * (xk + xmk);
-    const Complex odd = std::conj(tw[k]) * (0.5 * (xk - xmk));
-    // Z_k = E_k + i * O_k
-    return Complex(even.real() - odd.imag(), even.imag() + odd.real());
+  struct Z {
+    double r, i;
+  };
+  // Bin 0 of the packed signal folds DC with Nyquist (both forced real);
+  // peeling it keeps the interior fold branch-free.
+  const Z z0{0.5 * (in_re[0] + in_re[h]), 0.5 * (in_re[0] - in_re[h])};
+  const auto z_at = [&](std::size_t k) -> Z {  // k in [1, h)
+    const double ar = in_re[k];
+    const double ai = in_im[k];
+    const double br = in_re[h - k];
+    const double bi = -in_im[h - k];
+    const double er = 0.5 * (ar + br);
+    const double ei = 0.5 * (ai + bi);
+    const double dr = 0.5 * (ar - br);
+    const double di = 0.5 * (ai - bi);
+    // odd = conj(tw_k) * d;  Z_k = E_k + i * O_k
+    const double odr = rtw_re_[k] * dr + rtw_im_[k] * di;
+    const double odi = rtw_re_[k] * di - rtw_im_[k] * dr;
+    return {er - odi, ei + odr};
   };
   if (half_->pow2_) {
     ws.re.resize(h);
@@ -496,17 +848,36 @@ void FftPlan::inverse_real_half(std::span<const Complex> in,
     double* re = ws.re.data();
     double* im = ws.im.data();
     if (h == 1) {
-      const Complex z = z_at(0);
-      re[0] = z.real();
-      im[0] = z.imag();
+      re[0] = z0.r;
+      im[0] = z0.i;
+    } else if (h >= detail::kBlockedBitrevMinN) {
+      // Large N: materialise the fold in linear order, then run the
+      // cache-blocked permutation — two streaming passes instead of one
+      // scattered one. Same values into the same slots as the direct
+      // scatter below, so the threshold never changes results.
+      ws.re2.resize(h);
+      ws.im2.resize(h);
+      ws.re2[0] = z0.r;
+      ws.im2[0] = z0.i;
+      for (std::size_t k = 1; k < h; ++k) {
+        const Z z = z_at(k);
+        ws.re2[k] = z.r;
+        ws.im2[k] = z.i;
+      }
+      detail::bitrev_permute_planar(half_->bitrev_.data(), h,
+                                    ws.re2.data(), ws.im2.data(), re, im);
+      half_->split_passes(re, im, /*invert=*/true);
     } else {
-      // Scatter into bit-reversed order so the split passes run directly.
+      // Scatter into bit-reversed order so the split passes run directly
+      // (bitrev[0] == 0: z0 lands in slot 0).
       const std::uint32_t* bp = half_->bitrev_.data();
-      for (std::size_t k = 0; k < h; ++k) {
-        const Complex z = z_at(k);
+      re[0] = z0.r;
+      im[0] = z0.i;
+      for (std::size_t k = 1; k < h; ++k) {
+        const Z z = z_at(k);
         const std::size_t d = bp[k];
-        re[d] = z.real();
-        im[d] = z.imag();
+        re[d] = z.r;
+        im[d] = z.i;
       }
       half_->split_passes(re, im, /*invert=*/true);
     }
@@ -519,7 +890,11 @@ void FftPlan::inverse_real_half(std::span<const Complex> in,
   }
 
   ws.packed.resize(h);
-  for (std::size_t k = 0; k < h; ++k) ws.packed[k] = z_at(k);
+  ws.packed[0] = Complex(z0.r, z0.i);
+  for (std::size_t k = 1; k < h; ++k) {
+    const Z z = z_at(k);
+    ws.packed[k] = Complex(z.r, z.i);
+  }
   ws.half.resize(h);
   half_->inverse(ws.packed, ws.half);  // includes the 1/(N/2) scaling
   for (std::size_t j = 0; j < h; ++j) {
@@ -678,9 +1053,30 @@ void rfft_into(std::span<const double> in, std::span<Complex> out) {
   get_plan(in.size())->forward_real(in, out);
 }
 
+void fft_planar_into(std::span<const double> in_re,
+                     std::span<const double> in_im,
+                     std::span<double> out_re, std::span<double> out_im) {
+  ftio::util::expect(!in_re.empty(), "fft_planar_into: empty input");
+  get_plan(in_re.size())->forward_planar(in_re, in_im, out_re, out_im);
+}
+
+void ifft_planar_into(std::span<const double> in_re,
+                      std::span<const double> in_im,
+                      std::span<double> out_re, std::span<double> out_im) {
+  ftio::util::expect(!in_re.empty(), "ifft_planar_into: empty input");
+  get_plan(in_re.size())->inverse_planar(in_re, in_im, out_re, out_im);
+}
+
 void rfft_half_into(std::span<const double> in, std::span<Complex> out) {
   ftio::util::expect(!in.empty(), "rfft_half_into: empty input");
   get_plan(in.size())->forward_real_half(in, out);
+}
+
+void rfft_half_planar_into(std::span<const double> in,
+                           std::span<double> out_re,
+                           std::span<double> out_im) {
+  ftio::util::expect(!in.empty(), "rfft_half_planar_into: empty input");
+  get_plan(in.size())->forward_real_half_planar(in, out_re, out_im);
 }
 
 void irfft_half_into(std::span<const Complex> in, std::span<double> out) {
@@ -688,8 +1084,15 @@ void irfft_half_into(std::span<const Complex> in, std::span<double> out) {
   get_plan(out.size())->inverse_real_half(in, out);
 }
 
+void irfft_half_planar_into(std::span<const double> in_re,
+                            std::span<const double> in_im,
+                            std::span<double> out) {
+  ftio::util::expect(!out.empty(), "irfft_half_planar_into: empty output");
+  get_plan(out.size())->inverse_real_half_planar(in_re, in_im, out);
+}
+
 // ---------------------------------------------------------------------------
-// detail: scalar radix-2 reference kernel
+// detail: reference kernels (scalar radix-2, PR 3 fused radix-4)
 // ---------------------------------------------------------------------------
 
 namespace detail {
@@ -744,6 +1147,159 @@ void radix2_scalar(std::span<Complex> a, const Radix2Tables& tables,
     radix2_core<true>(a, tables.bitrev, tables.twiddle);
   } else {
     radix2_core<false>(a, tables.bitrev, tables.twiddle);
+  }
+}
+
+Radix4Tables::Radix4Tables(std::size_t size) : n(size) {
+  ftio::util::expect(is_power_of_two(n) && n >= 2,
+                     "Radix4Tables: n must be 2^k >= 2");
+  bitrev = build_bitrev(n);
+  // Butterfly schedule: stages of length 2, 4, ..., N fused in pairs
+  // into radix-4 passes. An odd stage count leaves the trivial
+  // twiddle-free length-2 stage as a radix-2 lead; an even count starts
+  // with the equally twiddle-free fused (2,4) pass.
+  unsigned k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  std::size_t stage = 1;  // next unfused stage s (length 2^s)
+  if (k % 2 == 1) {
+    lead_radix2 = true;
+    stage = 2;
+  } else {
+    lead_radix4 = true;
+    stage = 3;
+  }
+  for (; stage + 1 <= k; stage += 2) {
+    const std::size_t len = std::size_t{1} << stage;  // fuse (len, 2*len)
+    Pass pass;
+    pass.half = len / 2;
+    pass.w1re.resize(pass.half);
+    pass.w1im.resize(pass.half);
+    pass.w2re.resize(pass.half);
+    pass.w2im.resize(pass.half);
+    for (std::size_t j = 0; j < pass.half; ++j) {
+      const Complex w1 = unit_root(j, len);
+      const Complex w2 = unit_root(j, 2 * len);
+      pass.w1re[j] = w1.real();
+      pass.w1im[j] = w1.imag();
+      pass.w2re[j] = w2.real();
+      pass.w2im[j] = w2.imag();
+    }
+    passes.push_back(std::move(pass));
+  }
+}
+
+namespace {
+
+template <bool Inv>
+void radix4_core(double* re, double* im, const Radix4Tables& t) {
+  const std::size_t n = t.n;
+  if (t.lead_radix2) {
+    // Stage of length 2: every twiddle is 1.
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      const double ar = re[i], ai = im[i];
+      const double br = re[i + 1], bi = im[i + 1];
+      re[i] = ar + br;
+      im[i] = ai + bi;
+      re[i + 1] = ar - br;
+      im[i + 1] = ai - bi;
+    }
+  } else if (t.lead_radix4) {
+    // Fused stages (2, 4): plain 4-point DFTs, no twiddle loads.
+    for (std::size_t i = 0; i + 3 < n; i += 4) {
+      const double ar = re[i], ai = im[i];
+      const double br = re[i + 1], bi = im[i + 1];
+      const double cr = re[i + 2], ci = im[i + 2];
+      const double dr = re[i + 3], di = im[i + 3];
+      const double t0r = ar + br, t0i = ai + bi;
+      const double t1r = ar - br, t1i = ai - bi;
+      const double t2r = cr + dr, t2i = ci + di;
+      const double t3r = cr - dr, t3i = ci - di;
+      re[i] = t0r + t2r;
+      im[i] = t0i + t2i;
+      re[i + 2] = t0r - t2r;
+      im[i + 2] = t0i - t2i;
+      if constexpr (Inv) {
+        re[i + 1] = t1r - t3i;
+        im[i + 1] = t1i + t3r;
+        re[i + 3] = t1r + t3i;
+        im[i + 3] = t1i - t3r;
+      } else {
+        re[i + 1] = t1r + t3i;
+        im[i + 1] = t1i - t3r;
+        re[i + 3] = t1r - t3i;
+        im[i + 3] = t1i + t3r;
+      }
+    }
+  }
+  // Generic fused passes: stage pair (L, 2L) as one radix-4 sweep over
+  // blocks of 2L. Within a block the four quarters are contiguous, so
+  // the j loop below is pure stride-1 double arithmetic over disjoint
+  // lanes.
+  for (const auto& pass : t.passes) {
+    const std::size_t half = pass.half;  // L/2
+    const std::size_t block = 4 * half;  // 2L
+    const double* __restrict w1r = pass.w1re.data();
+    const double* __restrict w1i = pass.w1im.data();
+    const double* __restrict w2r = pass.w2re.data();
+    const double* __restrict w2i = pass.w2im.data();
+    for (std::size_t i = 0; i < n; i += block) {
+      double* __restrict re0 = re + i;
+      double* __restrict im0 = im + i;
+      double* __restrict re1 = re0 + half;
+      double* __restrict im1 = im0 + half;
+      double* __restrict re2 = re0 + 2 * half;
+      double* __restrict im2 = im0 + 2 * half;
+      double* __restrict re3 = re0 + 3 * half;
+      double* __restrict im3 = im0 + 3 * half;
+      for (std::size_t j = 0; j < half; ++j) {
+        const double w1rj = w1r[j];
+        const double w1ij = Inv ? -w1i[j] : w1i[j];
+        const double w2rj = w2r[j];
+        const double w2ij = Inv ? -w2i[j] : w2i[j];
+        // Stage L: butterflies (0,1) and (2,3) with twiddle w1.
+        const double br = w1rj * re1[j] - w1ij * im1[j];
+        const double bi = w1rj * im1[j] + w1ij * re1[j];
+        const double dr = w1rj * re3[j] - w1ij * im3[j];
+        const double di = w1rj * im3[j] + w1ij * re3[j];
+        const double t0r = re0[j] + br, t0i = im0[j] + bi;
+        const double t1r = re0[j] - br, t1i = im0[j] - bi;
+        const double t2r = re2[j] + dr, t2i = im2[j] + di;
+        const double t3r = re2[j] - dr, t3i = im2[j] - di;
+        // Stage 2L: butterflies (0,2) with w2 and (1,3) with -i*w2
+        // (+i*w2 for the inverse) — the -i is folded into the output
+        // shuffle instead of a third twiddle table.
+        const double u2r = w2rj * t2r - w2ij * t2i;
+        const double u2i = w2rj * t2i + w2ij * t2r;
+        const double u3r = w2rj * t3r - w2ij * t3i;
+        const double u3i = w2rj * t3i + w2ij * t3r;
+        re0[j] = t0r + u2r;
+        im0[j] = t0i + u2i;
+        re2[j] = t0r - u2r;
+        im2[j] = t0i - u2i;
+        if constexpr (Inv) {
+          re1[j] = t1r - u3i;
+          im1[j] = t1i + u3r;
+          re3[j] = t1r + u3i;
+          im3[j] = t1i - u3r;
+        } else {
+          re1[j] = t1r + u3i;
+          im1[j] = t1i - u3r;
+          re3[j] = t1r - u3i;
+          im3[j] = t1i + u3r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void radix4_planar(double* re, double* im, const Radix4Tables& tables,
+                   bool invert) {
+  if (invert) {
+    radix4_core<true>(re, im, tables);
+  } else {
+    radix4_core<false>(re, im, tables);
   }
 }
 

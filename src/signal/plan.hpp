@@ -12,20 +12,39 @@
 namespace ftio::signal {
 
 /// Precomputed transform state for one size N. A plan owns every table the
-/// transform needs — the bit-reversal permutation and per-pass split
-/// real/imag twiddle tables for the power-of-two path, the chirp and its
-/// precomputed spectrum for the Bluestein path, and (for even N) a
-/// half-size sub-plan plus the unpack twiddles that make the real-input
-/// fast path possible. Plans are immutable after construction and
-/// therefore safe to share across threads; mutable scratch lives in
+/// transform needs — the bit-reversal permutation, the split-radix stage
+/// schedule and its per-stage twiddle pairs for the power-of-two path, the
+/// chirp and its precomputed spectrum for the Bluestein path, and (for
+/// even N) a half-size sub-plan plus the unpack twiddles that make the
+/// real-input fast path possible. Plans are immutable after construction
+/// and therefore safe to share across threads; mutable scratch lives in
 /// per-thread workspaces inside the execution functions.
 ///
-/// The power-of-two core operates on deinterleaved (planar) real/imag
-/// double arrays and fuses butterfly stages in pairs, i.e. radix-4 passes
-/// with one radix-2 lead stage when log2(N) is odd. The hot loops are
-/// contiguous stride-1 double arithmetic with no std::complex calls, which
-/// GCC and Clang auto-vectorise (SSE2 baseline, AVX2 with
-/// -march=x86-64-v3 — see the FTIO_X86_64_V3 CMake option).
+/// The power-of-two core is a split-radix (radix-2/4 mixed) decomposition
+/// over deinterleaved (planar) real/imag double arrays: each size-L node
+/// combines one L/2 sub-transform of the even samples with two L/4
+/// sub-transforms of the odd samples using the conjugate twiddle pair
+/// (w^k, w^{3k}) — about a third fewer real multiplies than the uniform
+/// fused-radix-4 schedule it replaces (kept as detail::Radix4Tables /
+/// radix4_planar for tests and benches). Input is permuted into
+/// bit-reversed order up front; above detail::kBlockedBitrevMinN the
+/// permutation runs cache-blocked (COBRA-style 32x32 tiles) so large
+/// transforms stop thrashing on the scattered gather, and the butterfly
+/// schedule itself recurses depth-first above detail::kSplitRadixLeafLen
+/// so every subtree that fits in cache is finished before the next one is
+/// touched. The hot loops are contiguous stride-1 double arithmetic with
+/// no std::complex calls, which GCC and Clang auto-vectorise (SSE2
+/// baseline, AVX2 with -march=x86-64-v3 — see the FTIO_X86_64_V3 CMake
+/// option).
+///
+/// Layout contract of the planar API: a split-complex signal is a pair of
+/// equal-length double arrays re[]/im[] owned by the caller; element k of
+/// the logical complex signal is (re[k], im[k]). The planar entry points
+/// read and write only such arrays — no interleaved std::complex buffer
+/// is formed anywhere on the path — and are the native representation of
+/// the core; the std::complex entry points survive as thin adapters that
+/// deinterleave/interleave at the edges. Planar outputs are bit-identical
+/// to the corresponding lanes of the interleaved entry points.
 ///
 /// Most callers should not construct plans directly but go through
 /// `plan_cache()` (or the `fft`/`rfft`/`ifft` free functions, which do so
@@ -46,9 +65,24 @@ class FftPlan {
   /// Inverse DFT including the 1/N normalisation.
   void inverse(std::span<const Complex> in, std::span<Complex> out) const;
 
+  /// Forward DFT of a planar split-complex signal: reads re/im lanes of
+  /// length size(), writes the spectrum into the caller-owned out lanes.
+  /// out may fully alias in (in-place); partial overlap is undefined.
+  void forward_planar(std::span<const double> in_re,
+                      std::span<const double> in_im,
+                      std::span<double> out_re,
+                      std::span<double> out_im) const;
+
+  /// Inverse DFT on planar lanes, including the 1/N normalisation.
+  /// Aliasing rules as forward_planar.
+  void inverse_planar(std::span<const double> in_re,
+                      std::span<const double> in_im,
+                      std::span<double> out_re,
+                      std::span<double> out_im) const;
+
   /// Forward DFT of a real signal, returning the full N-bin conjugate-
-  /// symmetric spectrum. Legacy adapter: runs forward_real_half and
-  /// mirrors the upper half. out.size() == size().
+  /// symmetric spectrum. Legacy adapter: runs the packed half transform
+  /// and mirrors the upper half. out.size() == size().
   void forward_real(std::span<const double> in, std::span<Complex> out) const;
 
   /// Packed single-sided transform of a real signal: writes only the
@@ -57,17 +91,32 @@ class FftPlan {
   /// half-size complex transform (N real -> N/2 complex + O(N) unpack),
   /// packed straight into the planar split buffers when N/2 is a power of
   /// two; odd N falls back to the complex transform and copies the half.
+  /// Interleaved adapter over forward_real_half_planar.
   /// out.size() == size()/2 + 1.
   void forward_real_half(std::span<const double> in,
                          std::span<Complex> out) const;
 
+  /// Planar-output variant of forward_real_half: the packed single-sided
+  /// spectrum lands in caller-owned re/im lanes of length size()/2 + 1.
+  /// Bit-identical to the lanes of forward_real_half.
+  void forward_real_half_planar(std::span<const double> in,
+                                std::span<double> out_re,
+                                std::span<double> out_im) const;
+
   /// Inverse of forward_real_half: reconstructs the N real samples from
   /// the packed N/2+1 half spectrum (which must be the transform of a
   /// real signal: imag(in[0]) and, for even N, imag(in[N/2]) are ignored).
-  /// Includes the 1/N normalisation. in.size() == size()/2 + 1,
+  /// Includes the 1/N normalisation. Interleaved adapter over
+  /// inverse_real_half_planar. in.size() == size()/2 + 1,
   /// out.size() == size().
   void inverse_real_half(std::span<const Complex> in,
                          std::span<double> out) const;
+
+  /// Planar-input variant of inverse_real_half: consumes the packed half
+  /// spectrum from caller-owned re/im lanes of length size()/2 + 1.
+  void inverse_real_half_planar(std::span<const double> in_re,
+                                std::span<const double> in_im,
+                                std::span<double> out) const;
 
   /// Forces construction of the lazily built tables so that subsequent
   /// transforms on worker threads find everything resident: the Bluestein
@@ -76,20 +125,30 @@ class FftPlan {
   void prepare(bool for_real_input) const;
 
  private:
-  /// One fused pair of butterfly stages (lengths L and 2L) over planar
-  /// arrays: the radix-4 workhorse. Twiddles are stored split and
-  /// contiguous per pass so the inner loop is pure stride-1 double math.
-  struct Radix4Pass {
-    std::size_t half = 0;           ///< L/2 butterflies per block of 2L
-    std::vector<double> w1re, w1im; ///< exp(-2*pi*i*j/L),    j < L/2
-    std::vector<double> w2re, w2im; ///< exp(-2*pi*i*j/(2L)), j < L/2
+  /// One split-radix combine stage of length L >= 8: a size-L node merges
+  /// U = FFT_{L/2}(even) with Z/Z' = FFT_{L/4}(x[4n+1]) / FFT_{L/4}
+  /// (x[4n+3]) through the twiddle pair (w^k, w^{3k}), k < L/4. Twiddles
+  /// are stored split and contiguous so the inner loop is pure stride-1
+  /// double math.
+  struct SplitStage {
+    std::size_t len = 0;            ///< L; quarter = L/4 butterflies/node
+    std::vector<double> w1re, w1im; ///< exp(-2*pi*i*k/L),   k < L/4
+    std::vector<double> w3re, w3im; ///< exp(-2*pi*i*3k/L),  k < L/4
   };
 
   void pow2_transform(std::span<const Complex> in, std::span<Complex> out,
                       bool invert) const;
   void pow2_inplace(std::span<Complex> a, bool invert) const;
-  /// Runs the butterfly passes over bit-reverse-permuted planar buffers.
+  /// Runs the split-radix schedule over bit-reverse-permuted planar
+  /// arrays: the fused (2,4) base pass, then the length-8..N combine
+  /// stages, recursing depth-first above detail::kSplitRadixLeafLen.
   void split_passes(double* re, double* im, bool invert) const;
+  template <bool Inv>
+  void split_subtree(double* re, double* im, std::size_t len,
+                     std::size_t pos) const;
+  template <bool Inv>
+  void split_iterative(double* re, double* im, std::size_t len,
+                       std::size_t pos) const;
   void bluestein_forward(std::span<const Complex> in,
                          std::span<Complex> out) const;
   void ensure_bluestein_tables() const;
@@ -98,11 +157,14 @@ class FftPlan {
   std::size_t n_ = 0;
   bool pow2_ = false;
 
-  // Split radix-4 tables (power-of-two N only).
+  // Split-radix tables (power-of-two N only).
   std::vector<std::uint32_t> bitrev_;  ///< permutation, size N
-  bool lead_radix2_ = false;  ///< odd log2 N: one radix-2 stage first
-  bool lead_radix4_ = false;  ///< even log2 N: twiddle-free 4-point DFTs first
-  std::vector<Radix4Pass> passes_;
+  /// Per-4-block leaf schedule for the fused (2,4) base pass: 1 when the
+  /// block holds a size-4 node of the split-radix tree (full 4-point
+  /// DFT), 0 when it holds two independent size-2 nodes (two radix-2
+  /// butterflies). Every aligned 4-block is exactly one of the two.
+  std::vector<std::uint8_t> base4_;
+  std::vector<SplitStage> stages_;  ///< lengths 8, 16, ..., N
 
   // Bluestein tables (non power-of-two N only). Built lazily on the
   // first complex transform: an even non-pow2 plan that only ever serves
@@ -121,7 +183,8 @@ class FftPlan {
   // sub-plans).
   mutable std::once_flag real_once_;
   mutable std::shared_ptr<const FftPlan> half_;  ///< cached plan for N/2
-  mutable std::vector<Complex> real_twiddle_;    ///< exp(-2*pi*i*k/N), k<=N/2
+  mutable std::vector<double> rtw_re_;  ///< Re exp(-2*pi*i*k/N), k <= N/2
+  mutable std::vector<double> rtw_im_;  ///< Im exp(-2*pi*i*k/N), k <= N/2
 };
 
 /// Thread-safe LRU cache of FftPlans keyed by N. One global instance (see
@@ -176,7 +239,7 @@ std::shared_ptr<const FftPlan> get_plan(std::size_t n);
 // ---------------------------------------------------------------------------
 // Allocation-free transform entry points (plan-cached, scratch reused).
 // Results match the vector-returning fft/ifft/rfft free functions bit for
-// bit.
+// bit; the planar variants match the corresponding lanes bit for bit.
 // ---------------------------------------------------------------------------
 
 /// out.size() == in.size().
@@ -184,19 +247,40 @@ void fft_into(std::span<const Complex> in, std::span<Complex> out);
 void ifft_into(std::span<const Complex> in, std::span<Complex> out);
 void rfft_into(std::span<const double> in, std::span<Complex> out);
 
+/// Planar split-complex transforms on caller-owned re/im lanes (all four
+/// spans the same length). out may fully alias in.
+void fft_planar_into(std::span<const double> in_re,
+                     std::span<const double> in_im,
+                     std::span<double> out_re, std::span<double> out_im);
+void ifft_planar_into(std::span<const double> in_re,
+                      std::span<const double> in_im,
+                      std::span<double> out_re, std::span<double> out_im);
+
 /// Packed single-sided real transform: out.size() == in.size()/2 + 1.
 /// Bit-identical to the first N/2+1 bins of rfft_into.
 void rfft_half_into(std::span<const double> in, std::span<Complex> out);
+
+/// Planar packed single-sided real transform: out lanes of size
+/// in.size()/2 + 1. Bit-identical to the lanes of rfft_half_into.
+void rfft_half_planar_into(std::span<const double> in,
+                           std::span<double> out_re,
+                           std::span<double> out_im);
 
 /// Inverse of rfft_half_into (1/N normalisation included):
 /// in.size() == out.size()/2 + 1.
 void irfft_half_into(std::span<const Complex> in, std::span<double> out);
 
+/// Planar inverse of rfft_half_planar_into: in lanes of size
+/// out.size()/2 + 1.
+void irfft_half_planar_into(std::span<const double> in_re,
+                            std::span<const double> in_im,
+                            std::span<double> out);
+
 namespace detail {
 
 /// The pre-radix-4 scalar kernel: interleaved std::complex radix-2
 /// butterflies. Kept as an independently-implemented reference so tests
-/// can pin the radix-4 split core against it on every power-of-two size,
+/// can pin the split-radix core against it on every power-of-two size,
 /// and as the baseline bench/micro_fft.cpp measures speedups against.
 struct Radix2Tables {
   explicit Radix2Tables(std::size_t n);  ///< n must be a power of two
@@ -208,6 +292,60 @@ struct Radix2Tables {
 /// scaling: the inverse pass omits the 1/N factor.
 void radix2_scalar(std::span<Complex> a, const Radix2Tables& tables,
                    bool invert);
+
+/// The PR 3 fused-radix-4 planar kernel, preserved verbatim as a second
+/// independent reference (and as the baseline the split-radix core is
+/// benchmarked against): stages of length 2..n fused in pairs into
+/// radix-4 passes with a radix-2 lead stage when log2 n is odd.
+struct Radix4Tables {
+  explicit Radix4Tables(std::size_t n);  ///< n must be a power of two
+  std::size_t n = 0;
+  std::vector<std::uint32_t> bitrev;     ///< permutation, size n
+  bool lead_radix2 = false;  ///< odd log2 n: one radix-2 stage first
+  bool lead_radix4 = false;  ///< even log2 n: twiddle-free 4-point DFTs
+  struct Pass {
+    std::size_t half = 0;           ///< L/2 butterflies per block of 2L
+    std::vector<double> w1re, w1im; ///< exp(-2*pi*i*j/L),    j < L/2
+    std::vector<double> w2re, w2im; ///< exp(-2*pi*i*j/(2L)), j < L/2
+  };
+  std::vector<Pass> passes;
+};
+
+/// In-place fused radix-4 transform over planar lanes that the caller has
+/// already permuted into bit-reversed order (tables.bitrev). No output
+/// scaling on the inverse.
+void radix4_planar(double* re, double* im, const Radix4Tables& tables,
+                   bool invert);
+
+/// Above this size the bit-reversal permutation runs cache-blocked
+/// (COBRA-style 32x32 tiles: both the sequential and the permuted side
+/// of every tile move through L1 instead of striding across the whole
+/// array). Measured crossover on the 1-core container: the blocked form
+/// is neutral-to-slightly-slower while the working set still fits L2 and
+/// wins once the scattered side spills, from N = 2^17 on.
+inline constexpr std::size_t kBlockedBitrevMinN = std::size_t{1} << 17;
+
+/// Split-radix subtrees at or below this length execute as iterative
+/// stage sweeps over the subtree's contiguous block; larger nodes recurse
+/// depth-first so each half/quarter finishes while still cache-resident
+/// (2 lanes * 8 B * 2^14 = 256 KiB working set per leaf).
+inline constexpr std::size_t kSplitRadixLeafLen = std::size_t{1} << 14;
+
+/// out[i] = in[bitrev[i]] over planar lanes, cache-blocked above
+/// kBlockedBitrevMinN. in and out must not alias. Because the
+/// permutation is an involution this also implements the scatter
+/// out[bitrev[i]] = in[i].
+void bitrev_permute_planar(const std::uint32_t* bitrev, std::size_t n,
+                           const double* in_re, const double* in_im,
+                           double* out_re, double* out_im);
+
+/// Deinterleaving gather: (out_re[i], out_im[i]) = pairs[2*bitrev[i] ..],
+/// cache-blocked above kBlockedBitrevMinN. `pairs` is any array of 2n
+/// doubles holding n (re, im) pairs — an interleaved std::complex buffer
+/// or the even/odd packing of a real signal.
+void bitrev_permute_pairs(const std::uint32_t* bitrev, std::size_t n,
+                          const double* pairs, double* out_re,
+                          double* out_im);
 
 }  // namespace detail
 

@@ -17,15 +17,19 @@ Spectrum compute_spectrum(std::span<const double> samples, double fs) {
   ftio::util::expect(!samples.empty(), "compute_spectrum: empty signal");
   ftio::util::expect(fs > 0.0, "compute_spectrum: fs must be positive");
 
-  // Plan-cached packed real transform into per-thread scratch: only the
-  // single-sided N/2+1 bins the spectrum reads are ever computed or
-  // stored (the conjugate-symmetric upper half no longer exists), and the
-  // buffer is reused across calls instead of reallocated.
+  // Plan-cached packed real transform into per-thread planar scratch:
+  // only the single-sided N/2+1 bins the spectrum reads are ever computed
+  // or stored (the conjugate-symmetric upper half no longer exists), the
+  // lanes stay split re[]/im[] end-to-end (no interleaved std::complex
+  // buffer anywhere on the path), and the buffers are reused across calls
+  // instead of reallocated.
   const std::size_t n = samples.size();
   const std::size_t half = n / 2;  // single-sided: k in [0, N/2]
-  thread_local std::vector<Complex> bins;
-  bins.resize(half + 1);
-  rfft_half_into(samples, bins);
+  thread_local std::vector<double> bin_re;
+  thread_local std::vector<double> bin_im;
+  bin_re.resize(half + 1);
+  bin_im.resize(half + 1);
+  rfft_half_planar_into(samples, bin_re, bin_im);
 
   Spectrum s;
   s.sampling_frequency = fs;
@@ -40,8 +44,8 @@ Spectrum compute_spectrum(std::span<const double> samples, double fs) {
   for (std::size_t k = 0; k <= half; ++k) {
     s.frequencies[k] =
         static_cast<double>(k) * fs / static_cast<double>(n);
-    s.amplitudes[k] = std::abs(bins[k]);
-    s.phases[k] = std::arg(bins[k]);
+    s.amplitudes[k] = std::hypot(bin_re[k], bin_im[k]);
+    s.phases[k] = std::atan2(bin_im[k], bin_re[k]);
     s.power[k] = s.amplitudes[k] * s.amplitudes[k] / static_cast<double>(n);
     total_power += s.power[k];
   }

@@ -58,15 +58,17 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
   const auto plan = get_plan(padded);
 
   // Mean-removed, zero-padded signal spectrum (computed once, through the
-  // plan's packed real fast path). The analytic Morlet window below only
-  // ever reads the positive-frequency bins k in [1, padded/2], so the
-  // single-sided half spectrum is all that is needed — the mirrored
-  // upper half is never computed or stored.
+  // plan's packed real fast path, straight into planar re/im lanes). The
+  // analytic Morlet window below only ever reads the positive-frequency
+  // bins k in [1, padded/2], so the single-sided half spectrum is all
+  // that is needed — the mirrored upper half is never computed or stored,
+  // and no interleaved std::complex buffer exists on the row path.
   const double mean = ftio::util::mean(samples);
   std::vector<double> x(padded, 0.0);
   for (std::size_t i = 0; i < n; ++i) x[i] = samples[i] - mean;
-  std::vector<Complex> x_hat(padded / 2 + 1);
-  plan->forward_real_half(x, x_hat);
+  std::vector<double> xh_re(padded / 2 + 1);
+  std::vector<double> xh_im(padded / 2 + 1);
+  plan->forward_real_half_planar(x, xh_re, xh_im);
 
   CwtResult result;
   result.sampling_frequency = fs;
@@ -100,10 +102,16 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
             std::pow(std::numbers::pi, -0.25) *
             std::sqrt(2.0 * std::numbers::pi * scale * fs);
 
-        thread_local std::vector<Complex> product;
-        thread_local std::vector<Complex> coefficients;
-        product.assign(padded, Complex(0.0, 0.0));
-        coefficients.resize(padded);
+        // Planar per-thread scratch: the windowed product and the
+        // coefficient lanes feed the plan's planar inverse directly.
+        thread_local std::vector<double> prod_re;
+        thread_local std::vector<double> prod_im;
+        thread_local std::vector<double> coef_re;
+        thread_local std::vector<double> coef_im;
+        prod_re.assign(padded, 0.0);
+        prod_im.assign(padded, 0.0);
+        coef_re.resize(padded);
+        coef_im.resize(padded);
 
         // The analytic wavelet lives on the positive-frequency bins
         // k in [1, padded/2], and the Gaussian underflows to exactly 0
@@ -136,9 +144,10 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
         for (std::size_t k = k_lo; k <= k_hi; ++k) {
           const double arg = scale * omega[k] - omega0;
           const double window = norm * std::exp(-0.5 * arg * arg);
-          product[k] = x_hat[k] * window;
+          prod_re[k] = xh_re[k] * window;
+          prod_im[k] = xh_im[k] * window;
         }
-        plan->inverse(product, coefficients);
+        plan->inverse_planar(prod_re, prod_im, coef_re, coef_im);
 
         // Scalogram power, rectified by 1/scale (Liu et al. 2007): under
         // the L2 normalisation alone |W|^2 of a pure tone grows with the
@@ -149,7 +158,8 @@ CwtResult morlet_cwt(std::span<const double> samples, double fs,
         row.resize(n);
         const double rectify = 1.0 / scale;
         for (std::size_t i = 0; i < n; ++i) {
-          row[i] = std::norm(coefficients[i]) * rectify;
+          row[i] =
+              (coef_re[i] * coef_re[i] + coef_im[i] * coef_im[i]) * rectify;
         }
       },
       threads);

@@ -7,22 +7,20 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ftio::util {
 
-/// Runs body(i) for i in [0, count) across up to `threads` worker threads
-/// (0 = hardware concurrency). Used for the embarrassingly parallel
-/// experiment sweeps (100 traces per parameter point in Sec. III-A).
-/// `body` must be safe to call concurrently for distinct indices.
-///
-/// If a body throws, the first exception is captured and rethrown on the
-/// calling thread after all workers join (an exception escaping a
-/// std::thread would std::terminate the process); remaining indices may
-/// be skipped once an exception is pending.
-inline void parallel_for(std::size_t count,
-                         const std::function<void(std::size_t)>& body,
-                         unsigned threads = 0) {
+namespace detail {
+
+/// Shared implementation behind both parallel_for overloads. Templated on
+/// the callable so hot batch loops (engine fan-out, wavelet rows, forest
+/// trees) invoke the body directly — inlined into the worker loop —
+/// instead of through a std::function's type-erased indirection per index.
+template <class Body>
+void parallel_for_impl(std::size_t count, Body&& body, unsigned threads) {
   if (count == 0) return;
   unsigned n = threads ? threads : std::thread::hardware_concurrency();
   n = std::max(1u, std::min<unsigned>(n, static_cast<unsigned>(count)));
@@ -53,6 +51,36 @@ inline void parallel_for(std::size_t count,
   }
   for (auto& w : workers) w.join();
   if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+/// Runs body(i) for i in [0, count) across up to `threads` worker threads
+/// (0 = hardware concurrency). Used for the embarrassingly parallel
+/// experiment sweeps (100 traces per parameter point in Sec. III-A) and
+/// the engine/wavelet/forest batch loops. `body` must be safe to call
+/// concurrently for distinct indices.
+///
+/// The callable is taken as a template parameter, so lambdas run without
+/// any std::function allocation or per-index virtual-call indirection.
+///
+/// If a body throws, the first exception is captured and rethrown on the
+/// calling thread after all workers join (an exception escaping a
+/// std::thread would std::terminate the process); remaining indices may
+/// be skipped once an exception is pending.
+template <class Body,
+          class = std::enable_if_t<std::is_invocable_v<Body&, std::size_t>>>
+inline void parallel_for(std::size_t count, Body&& body,
+                         unsigned threads = 0) {
+  detail::parallel_for_impl(count, std::forward<Body>(body), threads);
+}
+
+/// Forwarding wrapper keeping the original std::function signature for
+/// callers that already hold one (type-erased callbacks, stored bodies).
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  detail::parallel_for_impl(count, body, threads);
 }
 
 }  // namespace ftio::util

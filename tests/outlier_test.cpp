@@ -192,6 +192,26 @@ TEST(IsolationForest, DeterministicForFixedSeed) {
   EXPECT_EQ(a, b);
 }
 
+TEST(IsolationForest, ScoresBitIdenticalForEveryThreadCount) {
+  // The tree loop fans across util::parallel_for with per-tree RNG
+  // streams and a fixed chunk-ordered reduction: the scores must not
+  // depend on how many workers actually ran. Exercised with tree counts
+  // below, at, and above the chunk count so uneven tree/chunk splits are
+  // covered.
+  const auto v = spiked_data();
+  for (std::size_t trees : {3u, 16u, 50u}) {
+    out::IsolationForestOptions opts;
+    opts.tree_count = trees;
+    opts.threads = 1;
+    const auto serial = out::isolation_forest_scores(v, opts);
+    for (unsigned threads : {2u, 5u, 0u}) {
+      opts.threads = threads;
+      EXPECT_EQ(out::isolation_forest_scores(v, opts), serial)
+          << "trees = " << trees << " threads = " << threads;
+    }
+  }
+}
+
 TEST(IsolationForest, ScoresWithinUnitInterval) {
   const auto v = spiked_data();
   for (double s : out::isolation_forest_scores(v)) {

@@ -109,6 +109,28 @@ TEST(Spectrum, ParsevalEnergyConservation) {
   }
 }
 
+TEST(Spectrum, ParsevalHoldsAcrossBlockedBitrevThreshold) {
+  // Large power-of-two spectrum: the packed real transform inside
+  // compute_spectrum runs a 2^17-point half transform, crossing the
+  // cache-blocked bit-reversal threshold, and the whole path is planar
+  // end-to-end. Parseval over the single-sided layout pins it.
+  const std::size_t n = std::size_t{1} << 18;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 1.25 + std::cos(0.0037 * t) + 0.25 * std::sin(0.41 * t + 0.7);
+  }
+  const auto s = sig::compute_spectrum(x, 10.0);
+
+  double time_energy = 0.0;
+  for (double v : x) time_energy += v * v;
+
+  const std::size_t half = n / 2;
+  double freq_energy = s.power[0] + s.power[half];
+  for (std::size_t k = 1; k < half; ++k) freq_energy += 2.0 * s.power[k];
+  EXPECT_NEAR(freq_energy, time_energy, 1e-8 * time_energy);
+}
+
 TEST(Spectrum, RejectsBadArguments) {
   EXPECT_THROW(sig::compute_spectrum(std::vector<double>{}, 1.0),
                ftio::util::InvalidArgument);

@@ -114,12 +114,14 @@ TEST(FftPlan, IntoVariantsMatchVectorVariants) {
             0);
 }
 
-TEST(FftPlan, Radix4SplitCoreMatchesRadix2ReferenceOnEveryPow2) {
-  // Property: the fused radix-4 split-real/imag core and the scalar
-  // interleaved radix-2 reference kernel are the same transform, on every
-  // power-of-two size up to 2^16 (both parities of log2 N, so both the
-  // radix-2 lead stage and the twiddle-free 4-point lead are covered).
-  for (std::size_t n = 2; n <= (std::size_t{1} << 16); n <<= 1) {
+TEST(FftPlan, SplitRadixCoreMatchesRadix2ReferenceOnEveryPow2) {
+  // Property: the split-radix planar core and the scalar interleaved
+  // radix-2 reference kernel are the same transform, on every
+  // power-of-two size up to 2^18 (both parities of log2 N, so both leaf
+  // patterns of the (2,4) base pass are covered; 2^18 also crosses the
+  // cache-blocked bit-reversal threshold and the depth-first recursion
+  // cutover at detail::kSplitRadixLeafLen).
+  for (std::size_t n = 2; n <= (std::size_t{1} << 18); n <<= 1) {
     const auto x = random_signal(n, 4200 + n);
 
     const sig::detail::Radix2Tables tables(n);
@@ -140,6 +142,141 @@ TEST(FftPlan, Radix4SplitCoreMatchesRadix2ReferenceOnEveryPow2) {
     EXPECT_LE(max_abs_diff(got_inv, want_inv), tolerance(n))
         << "inverse n = " << n;
   }
+}
+
+TEST(FftPlan, SplitRadixCoreMatchesRadix4ReferenceOnEveryPow2) {
+  // The PR 3 fused-radix-4 kernel is preserved verbatim as
+  // detail::radix4_planar; pin the split-radix core against it too so
+  // the two independent planar schedules cross-check each other.
+  for (std::size_t n = 2; n <= (std::size_t{1} << 16); n <<= 1) {
+    const auto x = random_signal(n, 4300 + n);
+
+    const sig::detail::Radix4Tables tables(n);
+    std::vector<double> re(n);
+    std::vector<double> im(n);
+    sig::detail::bitrev_permute_pairs(
+        tables.bitrev.data(), n,
+        reinterpret_cast<const double*>(x.data()), re.data(), im.data());
+    sig::detail::radix4_planar(re.data(), im.data(), tables,
+                               /*invert=*/false);
+
+    sig::FftPlan plan(n);
+    std::vector<Complex> got(n);
+    plan.forward(x, got);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diff = std::max(diff, std::abs(got[i] - Complex(re[i], im[i])));
+    }
+    EXPECT_LE(diff, tolerance(n)) << "n = " << n;
+  }
+}
+
+TEST(FftPlan, PlanarMatchesInterleavedBitForBit) {
+  // The planar split-complex entry points and the interleaved adapters
+  // must produce identical bits lane for lane — pow2 (split-radix core)
+  // and non-pow2 (Bluestein edge) alike, forward and inverse, plus the
+  // documented full-aliasing in-place form.
+  for (std::size_t n : {2u, 8u, 64u, 97u, 360u, 1024u, 4096u}) {
+    const auto x = random_signal(n, 8100 + n);
+    std::vector<double> in_re(n), in_im(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_re[i] = x[i].real();
+      in_im[i] = x[i].imag();
+    }
+
+    std::vector<Complex> want(n);
+    sig::fft_into(x, want);
+    std::vector<double> out_re(n), out_im(n);
+    sig::fft_planar_into(in_re, in_im, out_re, out_im);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out_re[i], want[i].real()) << "fwd re n=" << n << " i=" << i;
+      EXPECT_EQ(out_im[i], want[i].imag()) << "fwd im n=" << n << " i=" << i;
+    }
+
+    // In-place planar call (full aliasing) must match the out-of-place.
+    std::vector<double> io_re(in_re), io_im(in_im);
+    sig::fft_planar_into(io_re, io_im, io_re, io_im);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(io_re[i], out_re[i]) << "in-place re n=" << n << " i=" << i;
+      EXPECT_EQ(io_im[i], out_im[i]) << "in-place im n=" << n << " i=" << i;
+    }
+
+    std::vector<Complex> want_inv(n);
+    sig::ifft_into(x, want_inv);
+    sig::ifft_planar_into(in_re, in_im, out_re, out_im);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out_re[i], want_inv[i].real())
+          << "inv re n=" << n << " i=" << i;
+      EXPECT_EQ(out_im[i], want_inv[i].imag())
+          << "inv im n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(FftPlan, RealHalfPlanarMatchesInterleavedBitForBit) {
+  // Planar and interleaved packed real transforms, both directions, on
+  // every parity class: pow2, even with pow2 half, even with non-pow2
+  // half, odd, prime.
+  const std::size_t sizes[] = {1, 2, 4, 6, 8, 12, 31, 60, 97, 128, 360,
+                               1024, 4096};
+  for (std::size_t n : sizes) {
+    const auto x = random_real(n, 8200 + n);
+    const std::size_t bins = n / 2 + 1;
+
+    std::vector<Complex> want(bins);
+    sig::rfft_half_into(x, want);
+    std::vector<double> hre(bins), him(bins);
+    sig::rfft_half_planar_into(x, hre, him);
+    for (std::size_t k = 0; k < bins; ++k) {
+      EXPECT_EQ(hre[k], want[k].real()) << "n=" << n << " bin " << k;
+      EXPECT_EQ(him[k], want[k].imag()) << "n=" << n << " bin " << k;
+    }
+
+    std::vector<double> back_i(n), back_p(n);
+    sig::irfft_half_into(want, back_i);
+    sig::irfft_half_planar_into(hre, him, back_p);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(back_p[i], back_i[i]) << "n=" << n << " sample " << i;
+    }
+  }
+}
+
+TEST(FftPlan, BlockedBitrevLargeTransformsMatchReference) {
+  // 2^17 complex / 2^18 real cross detail::kBlockedBitrevMinN, so the
+  // COBRA-tiled permutation (and, for the real inverse, the
+  // linearise-then-permute fold) runs on every path checked here.
+  ASSERT_GE(std::size_t{1} << 17, sig::detail::kBlockedBitrevMinN);
+
+  const std::size_t n = std::size_t{1} << 17;
+  const auto x = random_signal(n, 9000);
+  const sig::detail::Radix2Tables tables(n);
+  std::vector<Complex> want(x);
+  sig::detail::radix2_scalar(want, tables, /*invert=*/false);
+  const auto got = sig::fft(x);
+  EXPECT_LE(max_abs_diff(got, want), tolerance(n));
+
+  // Planar lanes across the blocked gather match the interleaved bits.
+  std::vector<double> in_re(n), in_im(n), out_re(n), out_im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_re[i] = x[i].real();
+    in_im[i] = x[i].imag();
+  }
+  sig::fft_planar_into(in_re, in_im, out_re, out_im);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out_re[i], got[i].real()) << "i = " << i;
+    ASSERT_EQ(out_im[i], got[i].imag()) << "i = " << i;
+  }
+
+  // Packed real round trip at 2N: the half transform is exactly n.
+  const auto xr = random_real(2 * n, 9001);
+  std::vector<double> hre(n + 1), him(n + 1), back(2 * n);
+  sig::rfft_half_planar_into(xr, hre, him);
+  sig::irfft_half_planar_into(hre, him, back);
+  double err = 0.0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    err = std::max(err, std::abs(back[i] - xr[i]));
+  }
+  EXPECT_LE(err, tolerance(2 * n));
 }
 
 TEST(FftPlan, RfftHalfMatchesLegacyFullSpectrum) {
