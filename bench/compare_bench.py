@@ -6,10 +6,16 @@ Usage:
                    [--filter REGEX]
 
 Compares real_time per benchmark name (aggregates such as *_BigO/*_RMS
-and names missing from either file are skipped, so adding or removing
-benchmarks never breaks the gate). A benchmark regresses when
+are skipped, and benchmarks that are new in the current file are
+reported informationally, so adding benchmarks never breaks the gate).
+A benchmark regresses when
 
     current / baseline > 1 + threshold.
+
+A GATED benchmark that exists in the baseline but is missing from the
+current file fails the comparison: a silently dropped bench would
+otherwise be un-regressable. Removing an ungated benchmark is only
+reported.
 
 With --normalize NAME, every time in each file is first divided by that
 file's time for NAME before comparing. Pinning NAME to a frozen
@@ -95,13 +101,20 @@ def main():
             del times[args.normalize]  # the pivot is 1.0 by construction
 
     regressions = []
+    missing = []
     rows = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
             rows.append((name, None, cur[name][0], cur[name][1], "new"))
             continue
         if name not in cur:
-            rows.append((name, base[name][0], None, base[name][1], "removed"))
+            if gate.search(name):
+                missing.append(name)
+                rows.append((name, base[name][0], None, base[name][1],
+                             "MISSING (gated)"))
+            else:
+                rows.append((name, base[name][0], None, base[name][1],
+                             "removed"))
             continue
         b, unit = base[name]
         c, _ = cur[name]
@@ -125,6 +138,16 @@ def main():
         cs = f"{c:{fmt}} {unit}" if c is not None else "-"
         print(f"{name:<{width}}  {bs:>14}  {cs:>14}  {note}")
 
+    failed = False
+    if missing:
+        print(
+            f"\nFAIL: {len(missing)} gated benchmark(s) present in the "
+            f"baseline are missing from the current file — a dropped bench "
+            f"cannot be checked for regressions:"
+        )
+        for name in missing:
+            print(f"  {name}")
+        failed = True
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
@@ -132,9 +155,11 @@ def main():
         )
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x")
+        failed = True
+    if failed:
         return 1
     print(f"\nOK: no gated benchmark regressed more than "
-          f"{100 * args.threshold:.0f}%")
+          f"{100 * args.threshold:.0f}% (and none went missing)")
     return 0
 
 

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/ftio.hpp"
@@ -11,6 +12,7 @@
 #include "trace/model.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/ior.hpp"
+#include "ref_kernel.hpp"
 
 namespace {
 
@@ -99,5 +101,8 @@ BENCHMARK(BM_AnalyzeManyBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
+
+// Frozen cross-machine gate pivot (see bench/ref_kernel.hpp).
+FTIO_REGISTER_REF_KERNEL_BENCH();
 
 BENCHMARK_MAIN();

@@ -22,6 +22,7 @@
 #include "engine/streaming.hpp"
 #include "signal/fft.hpp"
 #include "signal/wavelet.hpp"
+#include "ref_kernel.hpp"
 #include "trace/model.hpp"
 #include "util/stats.hpp"
 
@@ -181,5 +182,8 @@ BENCHMARK(BM_MorletCwt)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
+
+// Frozen cross-machine gate pivot (see bench/ref_kernel.hpp).
+FTIO_REGISTER_REF_KERNEL_BENCH();
 
 BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+#pragma once
+
+// The frozen cross-machine gate pivot shared by the micro_* binaries
+// that have no in-binary reference of their own (micro_fft's pivot is
+// its BM_RfftRadix2Scalar benchmark): the pre-PR 3 scalar radix-2
+// kernel. bench/compare_bench.py --normalize divides every time in a
+// results file by this benchmark's time from the same run, cancelling
+// uniform machine-speed differences so the committed baseline can gate
+// runs on other hardware. Each binary registers its own copy (Google
+// Benchmark registration is per translation unit) but the body lives
+// here exactly once — two drifting copies would skew the gate ratios of
+// one binary relative to the other. Must never be optimised or removed.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "signal/fft.hpp"
+#include "signal/plan.hpp"
+
+namespace ftio::benchref {
+
+inline void BM_RefRadix2Scalar(benchmark::State& state) {
+  namespace sig = ftio::signal;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const sig::detail::Radix2Tables tables(n);
+  std::vector<sig::Complex> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = sig::Complex(std::cos(0.001 * static_cast<double>(i)), 0.0);
+  }
+  std::vector<sig::Complex> work(n);
+  for (auto _ : state) {
+    work = buf;
+    sig::detail::radix2_scalar(work, tables, /*invert=*/false);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+
+}  // namespace ftio::benchref
+
+/// Registers the pivot under the canonical name "BM_RefRadix2Scalar".
+#define FTIO_REGISTER_REF_KERNEL_BENCH()                              \
+  BENCHMARK(ftio::benchref::BM_RefRadix2Scalar)                       \
+      ->Name("BM_RefRadix2Scalar")                                    \
+      ->Arg(1 << 16)

@@ -13,10 +13,18 @@ namespace ftio::core {
 AcfAnalysis analyze_autocorrelation(std::span<const double> samples, double fs,
                                     const AcfOptions& options) {
   ftio::util::expect(fs > 0.0, "analyze_autocorrelation: fs must be positive");
-  AcfAnalysis out;
-  if (samples.size() < 3) return out;
+  if (samples.size() < 3) return {};
+  return analyze_autocorrelation_prepared(
+      ftio::signal::autocorrelation(samples), fs, options);
+}
 
-  const auto acf = ftio::signal::autocorrelation(samples);
+AcfAnalysis analyze_autocorrelation_prepared(std::span<const double> acf,
+                                             double fs,
+                                             const AcfOptions& options) {
+  ftio::util::expect(fs > 0.0,
+                     "analyze_autocorrelation_prepared: fs must be positive");
+  AcfAnalysis out;
+  if (acf.size() < 3) return out;
 
   // The ACF decays from 1 over one burst width (the decorrelation width);
   // noise on that slope and on each period hump creates clusters of

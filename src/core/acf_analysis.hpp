@@ -39,6 +39,15 @@ struct AcfAnalysis {
 AcfAnalysis analyze_autocorrelation(std::span<const double> samples, double fs,
                                     const AcfOptions& options = {});
 
+/// The peak/period/confidence stages of analyze_autocorrelation on an
+/// already-computed, lag-0-normalised ACF (lags 0..N-1 of an N-sample
+/// signal). The batched engine precomputes ACFs for same-size windows
+/// through signal::autocorrelation_many and feeds them here; results are
+/// identical to analyze_autocorrelation on the original samples.
+AcfAnalysis analyze_autocorrelation_prepared(std::span<const double> acf,
+                                             double fs,
+                                             const AcfOptions& options = {});
+
 /// Similarity c_s of the DFT period to the ACF candidates: 1 minus the
 /// coefficient of variation of {candidates..., dft_period} (Sec. II-C
 /// "we find the similarity ... using the coefficient of variation").

@@ -12,6 +12,20 @@ FtioResult analyze_samples(std::span<const double> samples,
   ftio::util::expect(!samples.empty(), "analyze_samples: empty signal");
   ftio::util::expect(options.sampling_frequency > 0.0,
                      "analyze_samples: fs must be positive");
+  return analyze_samples_prepared(
+      samples, options, origin,
+      ftio::signal::compute_spectrum(samples, options.sampling_frequency),
+      /*acf=*/nullptr);
+}
+
+FtioResult analyze_samples_prepared(std::span<const double> samples,
+                                    const FtioOptions& options, double origin,
+                                    ftio::signal::Spectrum spectrum,
+                                    const std::vector<double>* acf) {
+  ftio::util::expect(!samples.empty(),
+                     "analyze_samples_prepared: empty signal");
+  ftio::util::expect(options.sampling_frequency > 0.0,
+                     "analyze_samples_prepared: fs must be positive");
 
   FtioResult result;
   result.sampling_frequency = options.sampling_frequency;
@@ -20,13 +34,15 @@ FtioResult analyze_samples(std::span<const double> samples,
       origin + static_cast<double>(samples.size()) / options.sampling_frequency;
   result.sample_count = samples.size();
 
-  auto spectrum =
-      ftio::signal::compute_spectrum(samples, options.sampling_frequency);
   result.dft = analyze_spectrum(spectrum, options.candidates);
 
   if (options.with_autocorrelation) {
-    result.acf = analyze_autocorrelation(samples, options.sampling_frequency,
-                                         options.acf);
+    result.acf =
+        acf != nullptr
+            ? analyze_autocorrelation_prepared(
+                  *acf, options.sampling_frequency, options.acf)
+            : analyze_autocorrelation(samples, options.sampling_frequency,
+                                      options.acf);
     result.refined_confidence =
         result.periodic()
             ? merged_confidence(result.dft.confidence, *result.acf,

@@ -78,6 +78,19 @@ struct FtioResult {
 FtioResult analyze_samples(std::span<const double> samples,
                            const FtioOptions& options, double origin = 0.0);
 
+/// analyze_samples with the transform stages supplied by the caller: the
+/// batched engine groups same-length sample windows, runs their spectra
+/// (and, when enabled, their raw ACFs) through the signal layer's batched
+/// plan execution, and hands each window's artefacts here for the
+/// remaining pipeline. `spectrum` must be compute_spectrum(samples, fs);
+/// `acf`, when non-null, must be signal::autocorrelation(samples) (it is
+/// only read if options.with_autocorrelation is set — pass nullptr to
+/// compute it here). Results are identical to analyze_samples.
+FtioResult analyze_samples_prepared(std::span<const double> samples,
+                                    const FtioOptions& options, double origin,
+                                    ftio::signal::Spectrum spectrum,
+                                    const std::vector<double>* acf);
+
 // ---------------------------------------------------------------------------
 // Bandwidth-analysis building blocks. analyze_bandwidth is exactly the
 // composition select_analysis_window -> discretize_window ->

@@ -1,9 +1,12 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "signal/autocorrelation.hpp"
 #include "signal/fft.hpp"
 #include "signal/plan.hpp"
+#include "signal/spectrum.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -51,6 +54,44 @@ std::vector<ftio::core::FtioResult> analyze_many(
   }
   if (engine.warm_plans) warm_plans_for(views, options);
 
+  // Batched transform stage: sample views of equal length (the window-
+  // strategy ensemble fan-out and fixed-grid sweeps produce many) run
+  // their spectra — and, when enabled, their raw ACFs — through the
+  // signal layer's stage-major batched plan execution, parallel over
+  // cache-resident batch tiles rather than whole signals. The per-view
+  // fan-out below then finishes the pipeline from the precomputed
+  // artefacts. Batched rows are bit-identical to per-signal transforms,
+  // so results stay identical to looped analyze_samples calls.
+  std::map<std::size_t, std::vector<std::size_t>> sample_groups;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const TraceView& v = views[i];
+    if (v.trace == nullptr && v.bandwidth == nullptr && !v.samples.empty()) {
+      sample_groups[v.samples.size()].push_back(i);
+    }
+  }
+  std::vector<ftio::signal::Spectrum> spectra(views.size());
+  std::vector<std::vector<double>> acfs(views.size());
+  std::vector<char> prepared(views.size(), 0);
+  for (const auto& [n, idx] : sample_groups) {
+    if (idx.size() < 2) continue;
+    std::vector<std::span<const double>> windows;
+    windows.reserve(idx.size());
+    for (std::size_t i : idx) windows.push_back(views[i].samples);
+    auto group_spectra = ftio::signal::compute_spectra(
+        windows, options.sampling_frequency, engine.threads);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      spectra[idx[j]] = std::move(group_spectra[j]);
+    }
+    if (options.with_autocorrelation && n >= 3) {
+      auto group_acfs =
+          ftio::signal::autocorrelation_many(windows, engine.threads);
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        acfs[idx[j]] = std::move(group_acfs[j]);
+      }
+    }
+    for (std::size_t i : idx) prepared[i] = 1;
+  }
+
   ftio::util::parallel_for(
       views.size(),
       [&](std::size_t i) {
@@ -59,6 +100,10 @@ std::vector<ftio::core::FtioResult> analyze_many(
           results[i] = ftio::core::detect(*v.trace, options);
         } else if (v.bandwidth != nullptr) {
           results[i] = ftio::core::analyze_bandwidth(*v.bandwidth, options);
+        } else if (prepared[i]) {
+          results[i] = ftio::core::analyze_samples_prepared(
+              v.samples, options, v.origin, std::move(spectra[i]),
+              acfs[i].empty() ? nullptr : &acfs[i]);
         } else {
           ftio::util::expect(!v.samples.empty(),
                              "analyze_many: view without a source");

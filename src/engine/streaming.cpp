@@ -157,7 +157,10 @@ ftio::core::Prediction StreamingSession::predict() {
   }
 
   // One batch through the engine: primary + ensemble share the warm plan
-  // cache and the worker pool.
+  // cache and the worker pool, and members whose windows landed on the
+  // same sample count (growing-window strategies converge there) get
+  // their spectra and ACFs computed through the signal layer's batched
+  // stage-major plan execution inside analyze_many.
   std::vector<TraceView> views;
   views.reserve(1 + members_.size());
   views.push_back(

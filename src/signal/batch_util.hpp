@@ -1,0 +1,60 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "signal/plan.hpp"
+#include "util/parallel.hpp"
+
+namespace ftio::signal::detail {
+
+/// Shared orchestration of the batched signal-level consumers
+/// (compute_spectra, autocorrelation_many): group indices [0, count) by
+/// a transform size, run singleton groups through the per-signal path,
+/// and split every larger group into cache-resident row tiles fanned
+/// across up to `threads` workers, each tile executing one batched plan
+/// run. Tile boundaries depend only on the index order within a group,
+/// so results are independent of the thread count.
+///
+///   group_key(i)   -> the plan size this signal transforms at
+///   run_single(i)  -> per-signal fallback for groups of one
+///   run_tile(plan, tile_indices) -> batched execution of one tile;
+///     `tile_indices` is the group's index list restricted to the tile
+///
+/// The plan is prepared for real input (both consumers run the packed
+/// real path) before any tile runs, so workers never race on the lazy
+/// table builds.
+template <class KeyFn, class SingleFn, class TileFn>
+void grouped_batch_tiles(std::size_t count, unsigned threads,
+                         KeyFn&& group_key, SingleFn&& run_single,
+                         TileFn&& run_tile) {
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < count; ++i) {
+    groups[group_key(i)].push_back(i);
+  }
+  for (const auto& [size, idx] : groups) {
+    if (idx.size() == 1) {
+      run_single(idx[0]);
+      continue;
+    }
+    const auto plan = get_plan(size);
+    plan->prepare(/*for_real_input=*/true);
+    const std::size_t tile_rows =
+        std::max<std::size_t>(std::size_t{1}, plan->batch_tile_rows(true));
+    const std::size_t tiles = (idx.size() + tile_rows - 1) / tile_rows;
+    ftio::util::parallel_for(
+        tiles,
+        [&](std::size_t t) {
+          const std::size_t row0 = t * tile_rows;
+          const std::size_t rows = std::min(tile_rows, idx.size() - row0);
+          run_tile(*plan,
+                   std::span<const std::size_t>(idx).subspan(row0, rows));
+        },
+        threads);
+  }
+}
+
+}  // namespace ftio::signal::detail

@@ -88,6 +88,8 @@ struct Workspace {
   std::vector<double> im2;
   std::vector<double> hre;
   std::vector<double> him;
+  std::vector<double> bre;  ///< transposed batch-tile lanes (batch entry
+  std::vector<double> bim;  ///  points only; never nested)
   std::vector<Complex> conv;
   std::vector<Complex> conj;
   std::vector<Complex> packed;
@@ -255,24 +257,51 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(is_power_of_two(n)) {
       }
     }
 
-    // Combine stages of length 8..N with the (w^k, w^{3k}) twiddle pair.
-    for (std::size_t len = 8; len <= n_; len <<= 1) {
-      SplitStage stage;
-      stage.len = len;
-      const std::size_t quarter = len / 4;
-      stage.w1re.resize(quarter);
-      stage.w1im.resize(quarter);
-      stage.w3re.resize(quarter);
-      stage.w3im.resize(quarter);
-      for (std::size_t k = 0; k < quarter; ++k) {
-        const Complex w1 = unit_root(k, len);
-        const Complex w3 = unit_root(3 * k, len);
-        stage.w1re[k] = w1.real();
-        stage.w1im[k] = w1.imag();
-        stage.w3re[k] = w3.real();
-        stage.w3im[k] = w3.imag();
+    // Combine stages of length 8..N with the (w^k, w^{3k}) twiddle pair,
+    // all folded out of one recursive root table: the stage-L twiddle
+    // exp(-2*pi*i*k/L) is the root-stage twiddle at index k*N/L, bit for
+    // bit — scaling the angle's numerator and denominator by the same
+    // power of two commutes with IEEE rounding, and the quarter-period
+    // snap conditions scale identically. Only the two length-N/4 root
+    // tables pay a cos/sin evaluation (~N/2 calls); every shorter stage
+    // is a strided copy, which roughly halves the trigonometry that
+    // dominated cold plan construction.
+    if (n_ >= 8) {
+      const std::size_t root_quarter = n_ / 4;
+      std::vector<double> rw1re(root_quarter), rw1im(root_quarter);
+      std::vector<double> rw3re(root_quarter), rw3im(root_quarter);
+      for (std::size_t k = 0; k < root_quarter; ++k) {
+        const Complex w1 = unit_root(k, n_);
+        const Complex w3 = unit_root(3 * k, n_);
+        rw1re[k] = w1.real();
+        rw1im[k] = w1.imag();
+        rw3re[k] = w3.real();
+        rw3im[k] = w3.imag();
       }
-      stages_.push_back(std::move(stage));
+      for (std::size_t len = 8; len < n_; len <<= 1) {
+        SplitStage stage;
+        stage.len = len;
+        const std::size_t quarter = len / 4;
+        const std::size_t step = n_ / len;
+        stage.w1re.resize(quarter);
+        stage.w1im.resize(quarter);
+        stage.w3re.resize(quarter);
+        stage.w3im.resize(quarter);
+        for (std::size_t k = 0; k < quarter; ++k) {
+          stage.w1re[k] = rw1re[k * step];
+          stage.w1im[k] = rw1im[k * step];
+          stage.w3re[k] = rw3re[k * step];
+          stage.w3im[k] = rw3im[k * step];
+        }
+        stages_.push_back(std::move(stage));
+      }
+      SplitStage root;
+      root.len = n_;
+      root.w1re = std::move(rw1re);
+      root.w1im = std::move(rw1im);
+      root.w3re = std::move(rw3re);
+      root.w3im = std::move(rw3im);
+      stages_.push_back(std::move(root));
     }
   } else if (!pow2_) {
     m_ = next_power_of_two(2 * n_ - 1);
@@ -335,6 +364,289 @@ void split_combine(double* re, double* im, std::size_t quarter,
       sr[k] = u1r - t2i;
       si[k] = u1i + t2r;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched stage-major kernels. A batch group is kBatchGroup rows stored
+// interleaved down the batch axis: element k of group row g lives at
+// lane[k * kBatchGroup + g]. Every split-radix pass keeps its original
+// stride-1 loop shape — the index space just grows by the group factor,
+// with the twiddle tables duplicated group-wise so twiddle loads stay
+// vectorisable — which means the long combine stages vectorise exactly
+// like the single-signal core while the short L=8/16 combines (2-4
+// iteration loops there) get kBatchGroup times the trip count and
+// vectorise down the batch axis. The arithmetic per row is the verbatim
+// single-signal formulas (the L-combine literally reuses split_combine;
+// plan.cpp is compiled with -ffp-contract=off), so row b of a batch call
+// is bit-identical to the single-signal call on row b.
+// ---------------------------------------------------------------------------
+
+/// Rows per interleaved batch group. Measured on the 1-core container, 2
+/// beats 4 and 8: the kernels are load/store- and L1-traffic-bound, so a
+/// small group (working set 2 x N x 16 B, twiddle streams only 2x) that
+/// keeps the depth-first sub-blocks L1-resident wins over wider groups
+/// whose extra SIMD lanes the memory ports cannot feed.
+constexpr std::size_t kBatchGroup = 2;
+
+// The batch kernels are explicitly SIMD: every loop below is free of
+// loop-carried dependencies (each iteration touches only its own index
+// across disjoint lanes), which `#pragma omp simd` asserts so the
+// vectoriser stops versioning for aliasing and emits packed code — the
+// single-signal kernels' 12-stream butterflies defeat GCC's cost model
+// and run scalar, which is exactly the gap the batch layout closes. On
+// x86-64 each kernel additionally carries a runtime-dispatched
+// x86-64-v3 clone (FFTW-style), so the portable SSE2 binary runs the
+// batch axis 256 bits wide on AVX2 hosts. plan.cpp is compiled with
+// -ffp-contract=off, so every clone performs the same IEEE operations
+// and batch results stay bit-identical to the single-signal path.
+// GCC only: clang's target_clones support on function templates is not
+// reliable across the versions CI builds with; its builds simply run the
+// portable codegen (still correct, still SIMD via the pragmas — and the
+// FTIO_X86_64_V3 build compiles everything at v3 anyway).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define FTIO_BATCH_KERNEL \
+  __attribute__((target_clones("default", "arch=x86-64-v3")))
+#endif
+#endif
+#ifndef FTIO_BATCH_KERNEL
+#define FTIO_BATCH_KERNEL
+#endif
+
+/// The fused (2,4) base pass of split_iterative over an interleaved
+/// group: per 4-block the G-wide butterflies are contiguous 4*G doubles
+/// per lane.
+template <bool Inv>
+FTIO_BATCH_KERNEL void gbatch_base_pass(double* __restrict re,
+                                        double* __restrict im,
+                                        std::size_t n,
+                                        const std::uint8_t* __restrict t4) {
+  constexpr std::size_t G = kBatchGroup;
+  for (std::size_t i = 0, b = 0; i < n; i += 4, ++b) {
+    double* __restrict r = re + i * G;
+    double* __restrict m = im + i * G;
+    if (t4[b]) {
+#pragma omp simd
+      for (std::size_t g = 0; g < G; ++g) {
+        const double ar = r[g], ai = m[g];
+        const double br = r[G + g], bi = m[G + g];
+        const double cr = r[2 * G + g], ci = m[2 * G + g];
+        const double dr = r[3 * G + g], di = m[3 * G + g];
+        const double t0r = ar + br, t0i = ai + bi;
+        const double t1r = ar - br, t1i = ai - bi;
+        const double t2r = cr + dr, t2i = ci + di;
+        const double t3r = cr - dr, t3i = ci - di;
+        r[g] = t0r + t2r;
+        m[g] = t0i + t2i;
+        r[2 * G + g] = t0r - t2r;
+        m[2 * G + g] = t0i - t2i;
+        if constexpr (Inv) {
+          r[G + g] = t1r - t3i;
+          m[G + g] = t1i + t3r;
+          r[3 * G + g] = t1r + t3i;
+          m[3 * G + g] = t1i - t3r;
+        } else {
+          r[G + g] = t1r + t3i;
+          m[G + g] = t1i - t3r;
+          r[3 * G + g] = t1r - t3i;
+          m[3 * G + g] = t1i + t3r;
+        }
+      }
+    } else {
+      // Two independent size-2 nodes: (columns i, i+1) and (i+2, i+3).
+#pragma omp simd
+      for (std::size_t g = 0; g < G; ++g) {
+        const double ar = r[g], ai = m[g];
+        const double br = r[G + g], bi = m[G + g];
+        const double cr = r[2 * G + g], ci = m[2 * G + g];
+        const double dr = r[3 * G + g], di = m[3 * G + g];
+        r[g] = ar + br;
+        m[g] = ai + bi;
+        r[G + g] = ar - br;
+        m[G + g] = ai - bi;
+        r[2 * G + g] = cr + dr;
+        m[2 * G + g] = ci + di;
+        r[3 * G + g] = cr - dr;
+        m[3 * G + g] = ci - di;
+      }
+    }
+  }
+}
+
+/// gbatch_base_pass with the bit-reversal gather fused in: the butterfly
+/// operands load straight from the G source rows (the elements the base
+/// pass was about to read anyway) and only the results are written to the
+/// interleaved scratch — sequentially — so the separate permutation pass
+/// over the group working set disappears. Loads stream each row's
+/// L1-sized window; `sel` maps a permuted index to its lane offset within
+/// a row (identity for planar lanes, 2*s / 2*s+1 for packed real pairs).
+template <bool Inv, class SelRe, class SelIm>
+FTIO_BATCH_KERNEL void gbatch_base_gather(
+    const double* __restrict row_re, const double* __restrict row_im,
+    std::size_t stride, const std::uint32_t* __restrict bp, std::size_t n,
+    const std::uint8_t* __restrict t4, double* __restrict re,
+    double* __restrict im, SelRe sel_re, SelIm sel_im) {
+  constexpr std::size_t G = kBatchGroup;
+  for (std::size_t i = 0, b = 0; i < n; i += 4, ++b) {
+    const std::size_t s0 = bp[i];
+    const std::size_t s1 = bp[i + 1];
+    const std::size_t s2 = bp[i + 2];
+    const std::size_t s3 = bp[i + 3];
+    // Prefetch the next block's operand lines: the bit-reversed columns
+    // land on fresh cache lines in every row window, and the windows
+    // together exceed L1, so demand loads would stall otherwise.
+    if (i + 16 < n) {
+      const std::size_t p0 = bp[i + 12];
+      const std::size_t p2 = bp[i + 14];
+      const bool planar = row_im != row_re;
+      for (std::size_t g = 0; g < G; ++g) {
+        const double* __restrict rr = row_re + g * stride;
+        __builtin_prefetch(rr + sel_re(p0));
+        __builtin_prefetch(rr + sel_re(p2));
+        if (planar) {
+          const double* __restrict ri = row_im + g * stride;
+          __builtin_prefetch(ri + sel_im(p0));
+          __builtin_prefetch(ri + sel_im(p2));
+        }
+      }
+    }
+    double* __restrict r = re + i * G;
+    double* __restrict m = im + i * G;
+    if (t4[b]) {
+#pragma omp simd
+      for (std::size_t g = 0; g < G; ++g) {
+        const double* __restrict rr = row_re + g * stride;
+        const double* __restrict ri = row_im + g * stride;
+        const double ar = rr[sel_re(s0)], ai = ri[sel_im(s0)];
+        const double br = rr[sel_re(s1)], bi = ri[sel_im(s1)];
+        const double cr = rr[sel_re(s2)], ci = ri[sel_im(s2)];
+        const double dr = rr[sel_re(s3)], di = ri[sel_im(s3)];
+        const double t0r = ar + br, t0i = ai + bi;
+        const double t1r = ar - br, t1i = ai - bi;
+        const double t2r = cr + dr, t2i = ci + di;
+        const double t3r = cr - dr, t3i = ci - di;
+        r[g] = t0r + t2r;
+        m[g] = t0i + t2i;
+        r[2 * G + g] = t0r - t2r;
+        m[2 * G + g] = t0i - t2i;
+        if constexpr (Inv) {
+          r[G + g] = t1r - t3i;
+          m[G + g] = t1i + t3r;
+          r[3 * G + g] = t1r + t3i;
+          m[3 * G + g] = t1i - t3r;
+        } else {
+          r[G + g] = t1r + t3i;
+          m[G + g] = t1i - t3r;
+          r[3 * G + g] = t1r - t3i;
+          m[3 * G + g] = t1i + t3r;
+        }
+      }
+    } else {
+#pragma omp simd
+      for (std::size_t g = 0; g < G; ++g) {
+        const double* __restrict rr = row_re + g * stride;
+        const double* __restrict ri = row_im + g * stride;
+        const double ar = rr[sel_re(s0)], ai = ri[sel_im(s0)];
+        const double br = rr[sel_re(s1)], bi = ri[sel_im(s1)];
+        const double cr = rr[sel_re(s2)], ci = ri[sel_im(s2)];
+        const double dr = rr[sel_re(s3)], di = ri[sel_im(s3)];
+        r[g] = ar + br;
+        m[g] = ai + bi;
+        r[G + g] = ar - br;
+        m[G + g] = ai - bi;
+        r[2 * G + g] = cr + dr;
+        m[2 * G + g] = ci + di;
+        r[3 * G + g] = cr - dr;
+        m[3 * G + g] = ci - di;
+      }
+    }
+  }
+}
+
+/// split_combine over the G-times-larger interleaved index space with the
+/// group-duplicated twiddle streams: identical per-row formulas, explicit
+/// SIMD (the quarter*G-long loop is dependency-free). Kept as a plain
+/// always-inline body so the cloned kernels below absorb it into their
+/// own ISA level instead of paying a dispatched call per tree node.
+template <bool Inv>
+[[gnu::always_inline]] inline void gbatch_combine_body(
+    double* __restrict re, double* __restrict im, std::size_t quarter,
+    const double* __restrict w1r, const double* __restrict w1i,
+    const double* __restrict w3r, const double* __restrict w3i) {
+  double* __restrict ur = re;
+  double* __restrict ui = im;
+  double* __restrict vr = re + quarter;
+  double* __restrict vi = im + quarter;
+  double* __restrict zr = re + 2 * quarter;
+  double* __restrict zi = im + 2 * quarter;
+  double* __restrict sr = re + 3 * quarter;
+  double* __restrict si = im + 3 * quarter;
+#pragma omp simd
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const double a1r = w1r[k];
+    const double a1i = Inv ? -w1i[k] : w1i[k];
+    const double a3r = w3r[k];
+    const double a3i = Inv ? -w3i[k] : w3i[k];
+    const double tzr = a1r * zr[k] - a1i * zi[k];
+    const double tzi = a1r * zi[k] + a1i * zr[k];
+    const double tsr = a3r * sr[k] - a3i * si[k];
+    const double tsi = a3r * si[k] + a3i * sr[k];
+    const double t1r = tzr + tsr, t1i = tzi + tsi;
+    const double t2r = tzr - tsr, t2i = tzi - tsi;
+    const double u0r = ur[k], u0i = ui[k];
+    const double u1r = vr[k], u1i = vi[k];
+    ur[k] = u0r + t1r;
+    ui[k] = u0i + t1i;
+    zr[k] = u0r - t1r;
+    zi[k] = u0i - t1i;
+    if constexpr (Inv) {
+      vr[k] = u1r - t2i;
+      vi[k] = u1i + t2r;
+      sr[k] = u1r + t2i;
+      si[k] = u1i - t2r;
+    } else {
+      vr[k] = u1r + t2i;
+      vi[k] = u1i - t2r;
+      sr[k] = u1r - t2i;
+      si[k] = u1i + t2r;
+    }
+  }
+}
+
+/// One combine node (the block-top combine of the depth-first recursion).
+template <bool Inv>
+FTIO_BATCH_KERNEL void gbatch_combine(double* __restrict re,
+                                      double* __restrict im,
+                                      std::size_t quarter,
+                                      const double* __restrict w1r,
+                                      const double* __restrict w1i,
+                                      const double* __restrict w3r,
+                                      const double* __restrict w3i) {
+  gbatch_combine_body<Inv>(re, im, quarter, w1r, w1i, w3r, w3i);
+}
+
+/// One whole combine stage over a leaf block: the is/id node enumeration
+/// runs inside the cloned kernel, so the short stages (hundreds of
+/// length-8/16 nodes per block) pay one dispatched call per stage
+/// instead of one per node.
+template <bool Inv>
+FTIO_BATCH_KERNEL void gbatch_stage_sweep(
+    double* __restrict re, double* __restrict im, std::size_t block_len,
+    std::size_t stage_len, std::size_t g, const double* __restrict w1r,
+    const double* __restrict w1i, const double* __restrict w3r,
+    const double* __restrict w3i) {
+  const std::size_t quarterG = (stage_len / 4) * g;
+  std::size_t ix = 0;
+  std::size_t id = 2 * stage_len;
+  while (ix < block_len) {
+    for (std::size_t p = ix; p < block_len; p += id) {
+      gbatch_combine_body<Inv>(re + p * g, im + p * g, quarterG, w1r, w1i,
+                               w3r, w3i);
+    }
+    ix = 2 * id - stage_len;
+    id *= 4;
   }
 }
 
@@ -429,6 +741,388 @@ void FftPlan::split_passes(double* re, double* im, bool invert) const {
     split_subtree<true>(re, im, n_, 0);
   } else {
     split_subtree<false>(re, im, n_, 0);
+  }
+}
+
+void FftPlan::ensure_batch_tables() const {
+  std::call_once(batch_once_, [this] {
+    batch_stages_.reserve(stages_.size());
+    for (const auto& st : stages_) {
+      SplitStage g;
+      g.len = st.len;
+      const std::size_t quarter = st.len / 4;
+      g.w1re.resize(quarter * kBatchGroup);
+      g.w1im.resize(quarter * kBatchGroup);
+      g.w3re.resize(quarter * kBatchGroup);
+      g.w3im.resize(quarter * kBatchGroup);
+      for (std::size_t k = 0; k < quarter; ++k) {
+        for (std::size_t r = 0; r < kBatchGroup; ++r) {
+          g.w1re[k * kBatchGroup + r] = st.w1re[k];
+          g.w1im[k * kBatchGroup + r] = st.w1im[k];
+          g.w3re[k * kBatchGroup + r] = st.w3re[k];
+          g.w3im[k * kBatchGroup + r] = st.w3im[k];
+        }
+      }
+      batch_stages_.push_back(std::move(g));
+    }
+  });
+}
+
+template <bool Inv>
+void FftPlan::split_passes_batch(double* re, double* im) const {
+  // Precondition: n_ % 4 == 0 — every grouped batch path requires the
+  // packed transform length to be at least 4 (n_ >= 8 at the real-input
+  // entry points), so the (2,4) base pass always applies.
+  gbatch_base_pass<Inv>(re, im, n_, base4_.data());
+  split_stages_batch<Inv>(re, im);
+}
+
+template <bool Inv>
+void FftPlan::split_stages_batch(double* re, double* im) const {
+  split_subtree_batch<Inv>(re, im, n_, 0);
+}
+
+template <bool Inv>
+void FftPlan::split_subtree_batch(double* re, double* im, std::size_t len,
+                                  std::size_t pos) const {
+  constexpr std::size_t G = kBatchGroup;
+  if (len * G <= detail::kBatchLeafElems) {
+    // Stage-major sweep of this block: every length-L combine runs across
+    // the whole group (a valid topological order of the split-radix tree
+    // — children always complete before their parent's combine, so each
+    // row's values match the depth-first single-signal order bit for
+    // bit). The L-combine is the single-signal split_combine arithmetic
+    // on the G-times-larger index space with the group-duplicated
+    // twiddle streams.
+    for (const auto& st : batch_stages_) {
+      if (st.len > len) break;
+      gbatch_stage_sweep<Inv>(re + pos * G, im + pos * G, len, st.len, G,
+                              st.w1re.data(), st.w1im.data(),
+                              st.w3re.data(), st.w3im.data());
+    }
+    return;
+  }
+  const std::size_t half = len / 2;
+  const std::size_t quarter = len / 4;
+  split_subtree_batch<Inv>(re, im, half, pos);
+  split_subtree_batch<Inv>(re, im, quarter, pos + half);
+  split_subtree_batch<Inv>(re, im, quarter, pos + half + quarter);
+  const auto& st =
+      batch_stages_[static_cast<std::size_t>(std::countr_zero(len)) - 3];
+  gbatch_combine<Inv>(re + pos * G, im + pos * G, (len / 4) * G,
+                      st.w1re.data(), st.w1im.data(), st.w3re.data(),
+                      st.w3im.data());
+}
+
+std::size_t FftPlan::batch_tile_rows(bool real_input) const {
+  const std::size_t len = real_input ? n_ / 2 : n_;
+  if (len < 2) return 1;
+  const std::size_t per_row = 2 * len * sizeof(double);
+  const std::size_t rows = detail::kBatchTileBytes / per_row;
+  if (rows < kBatchGroup) return 1;
+  return rows - rows % kBatchGroup;
+}
+
+template <bool Inv>
+void FftPlan::planar_batch_group(std::size_t stride, const double* in_re,
+                                 const double* in_im, double* out_re,
+                                 double* out_im) const {
+  constexpr std::size_t G = kBatchGroup;
+  auto& ws = workspace();
+  double* __restrict sre = ws.bre.data();
+  double* __restrict sim = ws.bim.data();
+  // The base pass runs fused with the bit-reversal gather: operands load
+  // straight from the G source rows, results land sequentially in the
+  // interleaved scratch. The group's entire input is consumed before any
+  // output write, so fully aliased out lanes are safe (other rows are
+  // never touched here).
+  const auto id = [](std::size_t s) { return s; };
+  gbatch_base_gather<Inv>(in_re, in_im, stride, bitrev_.data(), n_,
+                          base4_.data(), sre, sim, id, id);
+  split_stages_batch<Inv>(sre, sim);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t g = 0; g < G; ++g) {
+    double* __restrict orr = out_re + g * stride;
+    double* __restrict ori = out_im + g * stride;
+    const double* __restrict cr = sre + g;
+    const double* __restrict ci = sim + g;
+    if constexpr (Inv) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        orr[k] = cr[k * G] * scale;
+        ori[k] = ci[k * G] * scale;
+      }
+    } else {
+      for (std::size_t k = 0; k < n_; ++k) {
+        orr[k] = cr[k * G];
+        ori[k] = ci[k * G];
+      }
+    }
+  }
+}
+
+void FftPlan::forward_planar_batch(std::size_t batch, std::size_t stride,
+                                   std::span<const double> in_re,
+                                   std::span<const double> in_im,
+                                   std::span<double> out_re,
+                                   std::span<double> out_im) const {
+  if (batch == 0) return;
+  ftio::util::expect(stride >= n_,
+                     "FftPlan::forward_planar_batch: stride < row length");
+  const std::size_t need = (batch - 1) * stride + n_;
+  ftio::util::expect(in_re.size() >= need && in_im.size() >= need &&
+                         out_re.size() >= need && out_im.size() >= need,
+                     "FftPlan::forward_planar_batch: lanes too short");
+  const bool grouped =
+      pow2_ && n_ >= 4 && batch >= kBatchGroup && batch_tile_rows(false) > 1;
+  std::size_t b = 0;
+  if (grouped) {
+    ensure_batch_tables();
+    auto& ws = workspace();
+    ws.bre.resize(n_ * kBatchGroup);
+    ws.bim.resize(n_ * kBatchGroup);
+    for (; b + kBatchGroup <= batch; b += kBatchGroup) {
+      planar_batch_group<false>(stride, in_re.data() + b * stride,
+                                in_im.data() + b * stride,
+                                out_re.data() + b * stride,
+                                out_im.data() + b * stride);
+    }
+  }
+  for (; b < batch; ++b) {
+    forward_planar(in_re.subspan(b * stride, n_),
+                   in_im.subspan(b * stride, n_),
+                   out_re.subspan(b * stride, n_),
+                   out_im.subspan(b * stride, n_));
+  }
+}
+
+void FftPlan::inverse_planar_batch(std::size_t batch, std::size_t stride,
+                                   std::span<const double> in_re,
+                                   std::span<const double> in_im,
+                                   std::span<double> out_re,
+                                   std::span<double> out_im) const {
+  if (batch == 0) return;
+  ftio::util::expect(stride >= n_,
+                     "FftPlan::inverse_planar_batch: stride < row length");
+  const std::size_t need = (batch - 1) * stride + n_;
+  ftio::util::expect(in_re.size() >= need && in_im.size() >= need &&
+                         out_re.size() >= need && out_im.size() >= need,
+                     "FftPlan::inverse_planar_batch: lanes too short");
+  const bool grouped =
+      pow2_ && n_ >= 4 && batch >= kBatchGroup && batch_tile_rows(false) > 1;
+  std::size_t b = 0;
+  if (grouped) {
+    ensure_batch_tables();
+    auto& ws = workspace();
+    ws.bre.resize(n_ * kBatchGroup);
+    ws.bim.resize(n_ * kBatchGroup);
+    for (; b + kBatchGroup <= batch; b += kBatchGroup) {
+      planar_batch_group<true>(stride, in_re.data() + b * stride,
+                               in_im.data() + b * stride,
+                               out_re.data() + b * stride,
+                               out_im.data() + b * stride);
+    }
+  }
+  for (; b < batch; ++b) {
+    inverse_planar(in_re.subspan(b * stride, n_),
+                   in_im.subspan(b * stride, n_),
+                   out_re.subspan(b * stride, n_),
+                   out_im.subspan(b * stride, n_));
+  }
+}
+
+void FftPlan::rfft_half_batch_group(std::size_t in_stride, const double* in,
+                                    std::size_t out_stride, double* out_re,
+                                    double* out_im) const {
+  constexpr std::size_t G = kBatchGroup;
+  const std::size_t h = n_ / 2;
+  auto& ws = workspace();
+  double* __restrict sre = ws.bre.data();
+  double* __restrict sim = ws.bim.data();
+  // The half plan's base pass runs fused with the deinterleaving pair
+  // gather: operand pair bitrev[k] of each row loads straight from the
+  // packed real source, results land sequentially in the interleaved
+  // scratch.
+  gbatch_base_gather<false>(in, in, in_stride, half_->bitrev_.data(), h,
+                            half_->base4_.data(), sre, sim,
+                            [](std::size_t s) { return 2 * s; },
+                            [](std::size_t s) { return 2 * s + 1; });
+  half_->split_stages_batch<false>(sre, sim);
+  // Single-sided unpack straight into the output rows, bin-major so the
+  // twiddle pair and both source columns load once per bin for all rows.
+  // Formulas verbatim from forward_real_half_planar's unpack.
+  const double* __restrict twr = rtw_re_.data();
+  const double* __restrict twi = rtw_im_.data();
+  for (std::size_t g = 0; g < G; ++g) {
+    const double z0r = sre[g], z0i = sim[g];
+    out_re[g * out_stride] = z0r + z0i;
+    out_im[g * out_stride] = 0.0;
+    out_re[g * out_stride + h] = z0r - z0i;
+    out_im[g * out_stride + h] = 0.0;
+  }
+  for (std::size_t k = 1; k < h; ++k) {
+    const double wr = twr[k];
+    const double wi = twi[k];
+    const double* __restrict zkr = sre + k * G;
+    const double* __restrict zki = sim + k * G;
+    const double* __restrict zhr = sre + (h - k) * G;
+    const double* __restrict zhi = sim + (h - k) * G;
+    double* __restrict orow = out_re + k;
+    double* __restrict irow = out_im + k;
+#pragma omp simd
+    for (std::size_t g = 0; g < G; ++g) {
+      const double zr = zkr[g], zi = zki[g];
+      const double zmr = zhr[g], zmi = -zhi[g];
+      const double er = 0.5 * (zr + zmr);
+      const double ei = 0.5 * (zi + zmi);
+      const double odr = 0.5 * (zi - zmi);
+      const double odi = -0.5 * (zr - zmr);
+      orow[g * out_stride] = er + wr * odr - wi * odi;
+      irow[g * out_stride] = ei + wr * odi + wi * odr;
+    }
+  }
+}
+
+void FftPlan::rfft_half_planar_batch_into(std::size_t batch,
+                                          std::size_t in_stride,
+                                          std::span<const double> in,
+                                          std::size_t out_stride,
+                                          std::span<double> out_re,
+                                          std::span<double> out_im) const {
+  if (batch == 0) return;
+  const std::size_t bins = n_ / 2 + 1;
+  ftio::util::expect(in_stride >= n_ && out_stride >= bins,
+                     "FftPlan::rfft_half_planar_batch_into: stride too small");
+  ftio::util::expect(
+      in.size() >= (batch - 1) * in_stride + n_ &&
+          out_re.size() >= (batch - 1) * out_stride + bins &&
+          out_im.size() >= (batch - 1) * out_stride + bins,
+      "FftPlan::rfft_half_planar_batch_into: lanes too short");
+  bool grouped = n_ >= 8 && n_ % 2 == 0 && batch >= kBatchGroup &&
+                 batch_tile_rows(true) > 1;
+  if (grouped) {
+    ensure_real_tables();
+    grouped = half_->pow2_;
+  }
+  std::size_t b = 0;
+  if (grouped) {
+    half_->ensure_batch_tables();
+    auto& ws = workspace();
+    ws.bre.resize((n_ / 2) * kBatchGroup);
+    ws.bim.resize((n_ / 2) * kBatchGroup);
+    for (; b + kBatchGroup <= batch; b += kBatchGroup) {
+      rfft_half_batch_group(in_stride, in.data() + b * in_stride,
+                            out_stride, out_re.data() + b * out_stride,
+                            out_im.data() + b * out_stride);
+    }
+  }
+  for (; b < batch; ++b) {
+    forward_real_half_planar(in.subspan(b * in_stride, n_),
+                             out_re.subspan(b * out_stride, bins),
+                             out_im.subspan(b * out_stride, bins));
+  }
+}
+
+void FftPlan::irfft_half_batch_group(std::size_t in_stride,
+                                     const double* in_re,
+                                     const double* in_im,
+                                     std::size_t out_stride,
+                                     double* out) const {
+  constexpr std::size_t G = kBatchGroup;
+  const std::size_t h = n_ / 2;
+  auto& ws = workspace();
+  double* __restrict sre = ws.bre.data();
+  double* __restrict sim = ws.bim.data();
+  // Fold the half spectra back into packed half-size signals, scattering
+  // into bit-reversed interleaved columns (bitrev[0] == 0, so the peeled
+  // DC/Nyquist fold lands in column 0). Formulas verbatim from
+  // inverse_real_half_planar's z0/z_at.
+  const std::uint32_t* bp = half_->bitrev_.data();
+  for (std::size_t g = 0; g < G; ++g) {
+    const double dc = in_re[g * in_stride];
+    const double ny = in_re[g * in_stride + h];
+    sre[g] = 0.5 * (dc + ny);
+    sim[g] = 0.5 * (dc - ny);
+  }
+  const double* __restrict rwr = rtw_re_.data();
+  const double* __restrict rwi = rtw_im_.data();
+  for (std::size_t k = 1; k < h; ++k) {
+    const double wr = rwr[k];
+    const double wi = rwi[k];
+    const std::size_t d = bp[k];
+    const double* __restrict akr = in_re + k;
+    const double* __restrict aki = in_im + k;
+    const double* __restrict bkr = in_re + (h - k);
+    const double* __restrict bki = in_im + (h - k);
+    double* __restrict dr = sre + d * G;
+    double* __restrict di = sim + d * G;
+#pragma omp simd
+    for (std::size_t g = 0; g < G; ++g) {
+      const double ar = akr[g * in_stride];
+      const double ai = aki[g * in_stride];
+      const double br = bkr[g * in_stride];
+      const double bi = -bki[g * in_stride];
+      const double er = 0.5 * (ar + br);
+      const double ei = 0.5 * (ai + bi);
+      const double fr = 0.5 * (ar - br);
+      const double fi = 0.5 * (ai - bi);
+      const double odr = wr * fr + wi * fi;
+      const double odi = wr * fi - wi * fr;
+      dr[g] = er - odi;
+      di[g] = ei + odr;
+    }
+  }
+  half_->split_passes_batch<true>(sre, sim);
+  const double scale = 1.0 / static_cast<double>(h);
+  for (std::size_t g = 0; g < G; ++g) {
+    double* __restrict orow = out + g * out_stride;
+    const double* __restrict cr = sre + g;
+    const double* __restrict ci = sim + g;
+#pragma omp simd
+    for (std::size_t j = 0; j < h; ++j) {
+      orow[2 * j] = cr[j * G] * scale;
+      orow[2 * j + 1] = ci[j * G] * scale;
+    }
+  }
+}
+
+void FftPlan::irfft_half_planar_batch_into(std::size_t batch,
+                                           std::size_t in_stride,
+                                           std::span<const double> in_re,
+                                           std::span<const double> in_im,
+                                           std::size_t out_stride,
+                                           std::span<double> out) const {
+  if (batch == 0) return;
+  const std::size_t bins = n_ / 2 + 1;
+  ftio::util::expect(in_stride >= bins && out_stride >= n_,
+                     "FftPlan::irfft_half_planar_batch_into: stride too "
+                     "small");
+  ftio::util::expect(
+      in_re.size() >= (batch - 1) * in_stride + bins &&
+          in_im.size() >= (batch - 1) * in_stride + bins &&
+          out.size() >= (batch - 1) * out_stride + n_,
+      "FftPlan::irfft_half_planar_batch_into: lanes too short");
+  bool grouped = n_ >= 8 && n_ % 2 == 0 && batch >= kBatchGroup &&
+                 batch_tile_rows(true) > 1;
+  if (grouped) {
+    ensure_real_tables();
+    grouped = half_->pow2_;
+  }
+  std::size_t b = 0;
+  if (grouped) {
+    half_->ensure_batch_tables();
+    auto& ws = workspace();
+    ws.bre.resize((n_ / 2) * kBatchGroup);
+    ws.bim.resize((n_ / 2) * kBatchGroup);
+    for (; b + kBatchGroup <= batch; b += kBatchGroup) {
+      irfft_half_batch_group(in_stride, in_re.data() + b * in_stride,
+                             in_im.data() + b * in_stride, out_stride,
+                             out.data() + b * out_stride);
+    }
+  }
+  for (; b < batch; ++b) {
+    inverse_real_half_planar(in_re.subspan(b * in_stride, bins),
+                             in_im.subspan(b * in_stride, bins),
+                             out.subspan(b * out_stride, n_));
   }
 }
 

@@ -65,6 +65,12 @@ TEST(Engine, AnalyzeManyMatchesLoopedAnalyzeSamples) {
   signals.push_back(tone(1024, 0.02, fs, 3));  // pow2 N
   signals.push_back(tone(600, 0.25, fs, 4));
   signals.push_back(std::vector<double>(300, 1.0));  // constant, aperiodic
+  // Equal-length views (the ensemble fan-out shape): these land in one
+  // group and run the batched transform stage + analyze_samples_prepared
+  // path, which must stay bit-identical to looped analyze_samples.
+  signals.push_back(tone(400, 0.08, fs, 5));
+  signals.push_back(tone(400, 0.12, fs, 6));
+  signals.push_back(tone(1024, 0.06, fs, 7));
 
   core::FtioOptions opts;
   opts.sampling_frequency = fs;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 #include <vector>
 
 #include "signal/autocorrelation.hpp"
@@ -341,6 +342,68 @@ TEST(Autocorrelation, MatchesDirectComputation) {
   direct[0] = 1.0;
   for (std::size_t lag = 0; lag < n; ++lag) {
     EXPECT_NEAR(fast[lag], direct[lag], 1e-9) << "lag " << lag;
+  }
+}
+
+TEST(Autocorrelation, ManyMatchesLoopedBitForBit) {
+  // autocorrelation_many batches same-convolution-size signals through
+  // the plan's stage-major batched execution; every row must equal the
+  // per-signal call exactly — including mixed lengths that share one
+  // padded size, lengths in their own group, and a thread-fanned run.
+  std::vector<std::vector<double>> signals;
+  for (std::size_t i = 0; i < 9; ++i) {
+    signals.push_back(cosine(0.1 + 0.07 * static_cast<double>(i), 4.0,
+                             i < 6 ? 100.0 : 75.0,
+                             0.1 * static_cast<double>(i)));
+  }
+  signals.push_back(std::vector<double>(5, 1.25));  // tiny, own group
+  std::vector<std::span<const double>> views(signals.begin(), signals.end());
+
+  for (const unsigned threads : {1u, 3u}) {
+    const auto batch = sig::autocorrelation_many(views, threads);
+    ASSERT_EQ(batch.size(), signals.size());
+    for (std::size_t i = 0; i < signals.size(); ++i) {
+      const auto want = sig::autocorrelation(signals[i]);
+      ASSERT_EQ(batch[i].size(), want.size()) << "signal " << i;
+      for (std::size_t lag = 0; lag < want.size(); ++lag) {
+        ASSERT_EQ(batch[i][lag], want[lag])
+            << "threads=" << threads << " signal " << i << " lag " << lag;
+      }
+    }
+  }
+}
+
+TEST(Spectrum, ComputeSpectraMatchesLoopedBitForBit) {
+  // The batched multi-window spectrum path: grouped same-length windows
+  // (both a power-of-two and a non-power-of-two length) plus a singleton
+  // group, against per-window compute_spectrum, at two thread counts.
+  std::vector<std::vector<double>> windows;
+  for (std::size_t i = 0; i < 7; ++i) {
+    windows.push_back(cosine(0.2 + 0.05 * static_cast<double>(i), 8.0,
+                             i < 5 ? 128.0 : 90.0,
+                             0.3 * static_cast<double>(i)));
+  }
+  windows.push_back(cosine(0.4, 8.0, 33.5));  // singleton group
+  std::vector<std::span<const double>> views(windows.begin(), windows.end());
+
+  for (const unsigned threads : {1u, 3u}) {
+    const auto batch = sig::compute_spectra(views, 8.0, threads);
+    ASSERT_EQ(batch.size(), windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const auto want = sig::compute_spectrum(windows[i], 8.0);
+      ASSERT_EQ(batch[i].total_samples, want.total_samples);
+      ASSERT_EQ(batch[i].amplitudes.size(), want.amplitudes.size());
+      for (std::size_t k = 0; k < want.amplitudes.size(); ++k) {
+        ASSERT_EQ(batch[i].amplitudes[k], want.amplitudes[k])
+            << "threads=" << threads << " window " << i << " bin " << k;
+        ASSERT_EQ(batch[i].phases[k], want.phases[k])
+            << "threads=" << threads << " window " << i << " bin " << k;
+        ASSERT_EQ(batch[i].power[k], want.power[k])
+            << "threads=" << threads << " window " << i << " bin " << k;
+        ASSERT_EQ(batch[i].normed_power[k], want.normed_power[k])
+            << "threads=" << threads << " window " << i << " bin " << k;
+      }
+    }
   }
 }
 
