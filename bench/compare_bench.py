@@ -24,6 +24,20 @@ BM_RfftRadix2Scalar/65536) cancels uniform machine-speed differences,
 so a baseline generated on one machine can gate runs on another: only
 changes relative to the reference kernel count.
 
+With --history PATH, a rolling per-run history JSON
+({"runs": [{"label": ..., "times": {name: time}}]}, times stored in the
+same normalized space the comparison runs in) feeds --auto-threshold:
+once a benchmark has --min-history recorded runs, its gate window is
+tightened from the --threshold ceiling down to
+
+    clamp(1.5 * (max - min) / median, --threshold-floor, --threshold)
+
+so stable benchmarks get a much tighter gate than the worst-case window
+chosen for the noisiest one, while noisy benchmarks keep the full
+ceiling. --append-history records the current run (on a passing gate
+only, trimmed to --history-limit entries) so the window keeps tracking
+the observed variance.
+
 Exit status 1 if any benchmark matching --filter regressed, 0 otherwise
 (2 on malformed input). New/removed benchmarks and improvements are
 reported informationally.
@@ -31,7 +45,9 @@ reported informationally.
 
 import argparse
 import json
+import os
 import re
+import statistics
 import sys
 
 
@@ -51,6 +67,38 @@ def load_times(path):
         if name not in times:
             times[name] = (bench["real_time"], bench.get("time_unit", "ns"))
     return times
+
+
+def load_history(path):
+    """Rolling history file; absent or empty files start a fresh history."""
+    if path is None or not os.path.exists(path):
+        return {"runs": []}
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or not isinstance(data.get("runs"), list):
+        raise ValueError(f"{path}: expected an object with a 'runs' list")
+    return data
+
+
+def history_values(history, name):
+    out = []
+    for run in history["runs"]:
+        value = run.get("times", {}).get(name)
+        if isinstance(value, (int, float)) and value > 0:
+            out.append(float(value))
+    return out
+
+
+def auto_threshold(values, ceiling, floor):
+    """Per-benchmark gate window from the observed spread of past runs.
+
+    1.5x the relative spread ((max - min) / median) comfortably covers
+    run-to-run noise already seen in practice, clamped to [floor,
+    ceiling] so a freak-stable history cannot produce an impossible
+    gate and a noisy one never loosens past the ceiling.
+    """
+    spread = (max(values) - min(values)) / statistics.median(values)
+    return min(ceiling, max(floor, 1.5 * spread))
 
 
 def main():
@@ -78,11 +126,69 @@ def main():
         "file before comparing (machine-independent gating against a "
         "frozen reference kernel)",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="rolling per-run history JSON used by --auto-threshold and "
+        "updated by --append-history",
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="record the current run into --history when the gate passes "
+        "(trimmed to --history-limit entries)",
+    )
+    parser.add_argument(
+        "--history-label",
+        default="",
+        help="label stored with the appended run (e.g. a commit sha)",
+    )
+    parser.add_argument(
+        "--history-limit",
+        type=int,
+        default=20,
+        help="keep at most this many runs in the history (default 20)",
+    )
+    parser.add_argument(
+        "--auto-threshold",
+        action="store_true",
+        help="tighten the gate per benchmark from the spread observed in "
+        "--history; --threshold then acts as the ceiling",
+    )
+    parser.add_argument(
+        "--threshold-floor",
+        type=float,
+        default=0.08,
+        help="tightest window --auto-threshold may derive (default 0.08)",
+    )
+    parser.add_argument(
+        "--min-history",
+        type=int,
+        default=5,
+        help="runs a benchmark needs in the history before its window is "
+        "tightened (default 5)",
+    )
     args = parser.parse_args()
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
     gate = re.compile(args.filter)
+
+    try:
+        history = load_history(args.history)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: bad history file: {exc}")
+        return 2
+
+    def gate_window(name):
+        """Per-benchmark regression window, tightened from history."""
+        if args.auto_threshold:
+            values = history_values(history, name)
+            if len(values) >= args.min_history:
+                return auto_threshold(values, args.threshold,
+                                      args.threshold_floor)
+        return args.threshold
 
     if args.normalize is not None:
         for label, times, path in (("baseline", base, args.baseline),
@@ -119,16 +225,21 @@ def main():
         b, unit = base[name]
         c, _ = cur[name]
         ratio = c / b if b > 0 else float("inf")
+        window = gate_window(name)
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + window:
             if gate.search(name):
                 status = "REGRESSION"
-                regressions.append((name, ratio))
+                regressions.append((name, ratio, window))
             else:
                 status = "slower (ungated)"
-        elif ratio < 1.0 - args.threshold:
+        elif ratio < 1.0 - window:
             status = "faster"
-        rows.append((name, b, c, unit, f"{status}  ({ratio:.2f}x)"))
+        note = f"{status}  ({ratio:.2f}x"
+        if window != args.threshold:
+            note += f", window {100 * window:.0f}%"
+        note += ")"
+        rows.append((name, b, c, unit, note))
 
     width = max((len(r[0]) for r in rows), default=10)
     print(f"{'benchmark':<{width}}  {'baseline':>14}  {'current':>14}  note")
@@ -150,16 +261,29 @@ def main():
         failed = True
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-            f"{100 * args.threshold:.0f}%:"
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
+            f"their gate window:"
         )
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x")
+        for name, ratio, window in regressions:
+            print(f"  {name}: {ratio:.2f}x (window {100 * window:.0f}%)")
         failed = True
     if failed:
         return 1
-    print(f"\nOK: no gated benchmark regressed more than "
-          f"{100 * args.threshold:.0f}% (and none went missing)")
+    print(f"\nOK: no gated benchmark regressed past its window "
+          f"(ceiling {100 * args.threshold:.0f}%, and none went missing)")
+
+    if args.history and args.append_history:
+        history["runs"].append({
+            "label": args.history_label,
+            "times": {name: cur[name][0] for name in sorted(cur)},
+        })
+        if args.history_limit > 0:
+            history["runs"] = history["runs"][-args.history_limit:]
+        with open(args.history, "w") as f:
+            json.dump(history, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"history: recorded run "
+              f"({len(history['runs'])} run(s) in {args.history})")
     return 0
 
 

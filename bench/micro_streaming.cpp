@@ -92,6 +92,86 @@ BENCHMARK(BM_StreamingSessionLoop)
     ->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+// O(window) claim, long form: thousands of flushes through a compacted
+// fixed-length session. mid_bytes vs final_bytes exposes whether the
+// session state plateaus — without compaction final_bytes grows with
+// the flush count, with it the two stay within the eviction slack.
+void BM_StreamingSessionLongStream(benchmark::State& state) {
+  const auto flushes = static_cast<int>(state.range(0));
+  std::vector<std::vector<ftio::trace::IoRequest>> chunks;
+  for (int i = 0; i < flushes; ++i)
+    chunks.push_back(phase(i * kPeriod, 2.0, kRanks));
+  ftio::engine::StreamingOptions options;
+  options.online = online_options();
+  options.online.strategy = ftio::core::WindowStrategy::kFixedLength;
+  options.online.fixed_window = 60.0;
+  options.compaction.enabled = true;
+  options.compaction.max_history = 64;
+  double mid_bytes = 0.0;
+  double final_bytes = 0.0;
+  double evicted_events = 0.0;
+  for (auto _ : state) {
+    ftio::engine::StreamingSession session(options);
+    for (int i = 0; i < flushes; ++i) {
+      session.ingest(std::span<const ftio::trace::IoRequest>(chunks[i]));
+      benchmark::DoNotOptimize(session.predict());
+      if (i == flushes / 2)
+        mid_bytes = static_cast<double>(session.memory_bytes());
+    }
+    final_bytes = static_cast<double>(session.memory_bytes());
+    evicted_events =
+        static_cast<double>(session.compaction_stats().evicted_events);
+  }
+  state.SetItemsProcessed(state.iterations() * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["mid_bytes"] = mid_bytes;
+  state.counters["final_bytes"] = final_bytes;
+  state.counters["evicted_events"] = evicted_events;
+}
+BENCHMARK(BM_StreamingSessionLongStream)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// Triage tier: the filter bank skips the full spectral pipeline while
+// the dominant period is stable, so a steady stream costs O(1) per
+// flush outside the cadence re-checks. triage_hit_rate reports the
+// fraction of flushes answered by the bank.
+void BM_StreamingSessionTriageLoop(benchmark::State& state) {
+  const auto flushes = static_cast<int>(state.range(0));
+  std::vector<std::vector<ftio::trace::IoRequest>> chunks;
+  for (int i = 0; i < flushes; ++i)
+    chunks.push_back(phase(i * kPeriod, 2.0, kRanks));
+  ftio::engine::StreamingOptions options;
+  options.online = online_options();
+  options.compaction.enabled = true;
+  options.compaction.max_history = 64;
+  options.triage.enabled = true;
+  double hit_rate = 0.0;
+  double final_bytes = 0.0;
+  for (auto _ : state) {
+    ftio::engine::StreamingSession session(options);
+    for (const auto& chunk : chunks) {
+      session.ingest(std::span<const ftio::trace::IoRequest>(chunk));
+      benchmark::DoNotOptimize(session.predict());
+    }
+    const auto& ts = session.triage_stats();
+    hit_rate = static_cast<double>(ts.skipped) /
+               static_cast<double>(ts.skipped + ts.full_analyses);
+    final_bytes = static_cast<double>(session.memory_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["triage_hit_rate"] = hit_rate;
+  state.counters["final_bytes"] = final_bytes;
+}
+BENCHMARK(BM_StreamingSessionTriageLoop)
+    ->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 // Cold baseline with the pre-streaming loop structure: one allocating
 // fft() for the signal, then per row a freshly allocated product vector,
 // a dense exp sweep over every bin, and an allocating ifft(), all on the

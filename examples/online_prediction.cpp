@@ -9,6 +9,9 @@
 // core::OnlinePredictor (bit-identical predictions, ~O(window) per flush)
 // with an ensemble of window strategies evaluated in the same batch, and
 // the DBSCAN merging of predictions into probability-weighted intervals.
+// Compaction bounds the session's memory to the analysis window, and the
+// triage filter bank answers steady flushes without the full spectral
+// pipeline; both report their stats at the end.
 
 #include <cstdio>
 
@@ -18,7 +21,7 @@
 
 int main() {
   constexpr int kRanks = 16;
-  constexpr int kLoops = 10;
+  constexpr int kLoops = 16;
 
   ftio::mpisim::FileSystemModel fs{32e9, 32e9, 2e9};
   ftio::mpisim::VirtualCluster cluster(kRanks, fs);
@@ -31,11 +34,15 @@ int main() {
   streaming.online.base.with_metrics = false;
   streaming.online.strategy = ftio::core::WindowStrategy::kAdaptive;
   streaming.online.adaptive_hits = 3;
-  // Evaluate the alternative look-back rules next to the adaptive one;
-  // all windows of a flush share one analyze_many batch.
-  streaming.ensemble = {ftio::core::WindowStrategy::kGrowing,
-                        ftio::core::WindowStrategy::kFixedLength};
+  // Evaluate the fixed look-back rule next to the adaptive one; all
+  // windows of a flush share one analyze_many batch. (A kGrowing member
+  // would look back over the whole stream and pin eviction off.)
+  streaming.ensemble = {ftio::core::WindowStrategy::kFixedLength};
   streaming.online.fixed_window = 30.0;
+  // Bound session memory to the reachable look-back, and let the triage
+  // filter bank skip the spectral pipeline while the period holds steady.
+  streaming.compaction.enabled = true;
+  streaming.triage.enabled = true;
   ftio::engine::StreamingSession session(streaming);
 
   std::printf("loop  flush@   window           prediction\n");
@@ -98,6 +105,25 @@ int main() {
       std::printf("  %-12s no dominant frequency\n",
                   strategy_name(streaming.ensemble[i]));
     }
+  }
+
+  const auto& cs = session.compaction_stats();
+  std::printf("\nsession memory: %zu bytes resident, curve support starts "
+              "at %.1f s\n  %zu compactions evicted %zu events / %zu "
+              "segments, %zu windows clamped\n",
+              session.memory_bytes(), cs.retained_start, cs.compactions,
+              cs.evicted_events, cs.evicted_segments, cs.clamped_windows);
+
+  const auto& ts = session.triage_stats();
+  const auto est = session.triage_estimate();
+  std::printf("triage: %zu full analyses, %zu skipped (drift %zu, "
+              "confidence %zu, cadence %zu retriggers)\n",
+              ts.full_analyses, ts.skipped, ts.drift_retriggers,
+              ts.confidence_retriggers, ts.cadence_retriggers);
+  if (est.valid()) {
+    std::printf("  filter bank: period %.2f s at %.0f%% confidence after "
+                "%zu observations\n",
+                est.period, 100.0 * est.confidence, est.observations);
   }
 
   const auto overhead = tracer.overhead();

@@ -61,6 +61,13 @@ double select_online_window(const OnlineOptions& options,
   return start;
 }
 
+double peek_online_window(const OnlineOptions& options,
+                          const OnlineWindowState& state, double begin,
+                          double now) {
+  OnlineWindowState scratch = state;
+  return select_online_window(options, scratch, begin, now);
+}
+
 void record_online_result(OnlineWindowState& state, const Prediction& p) {
   if (p.found()) {
     ++state.consecutive_hits;

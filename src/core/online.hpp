@@ -56,6 +56,10 @@ struct Prediction {
   double window_start = 0.0;        ///< data window the evaluation used
   double window_end = 0.0;
   std::size_t sample_count = 0;
+  /// True when the streaming triage tier synthesized this prediction from
+  /// the last full analysis instead of running the spectral pipeline
+  /// (the filter-bank estimate was stable, see engine::TriageOptions).
+  bool from_triage = false;
 
   bool found() const { return frequency.has_value(); }
   double period() const {
@@ -84,6 +88,14 @@ struct OnlineWindowState {
 double select_online_window(const OnlineOptions& options,
                             OnlineWindowState& state, double begin,
                             double now);
+
+/// The window start select_online_window would return for the next
+/// evaluation, without committing the adaptive state mutation. The
+/// streaming engine derives its compaction horizon from the earliest
+/// reachable window start across every strategy it runs.
+double peek_online_window(const OnlineOptions& options,
+                          const OnlineWindowState& state, double begin,
+                          double now);
 
 /// Records a finished evaluation: advances the hit streak and remembers
 /// the detected period for the next adaptive shrink.

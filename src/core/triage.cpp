@@ -1,0 +1,125 @@
+#include "core/triage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ftio::core {
+
+TriageFilterBank::TriageFilterBank(TriageBankOptions options)
+    : options_(options) {
+  ftio::util::expect(options_.bands >= 2,
+                     "TriageFilterBank: at least two bands required");
+  ftio::util::expect(
+      options_.min_period > 0.0 && options_.max_period > options_.min_period,
+      "TriageFilterBank: need 0 < min_period < max_period");
+  ftio::util::expect(options_.decay_periods > 0.0,
+                     "TriageFilterBank: decay_periods must be positive");
+  ftio::util::expect(options_.min_cycles >= 1.0,
+                     "TriageFilterBank: min_cycles must be >= 1");
+  const std::size_t n = options_.bands;
+  periods_.resize(n);
+  lambda_.resize(n);
+  mass_.assign(n, 0.0);
+  log_min_ = std::log(options_.min_period);
+  log_step_ = (std::log(options_.max_period) - log_min_) /
+              static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    periods_[i] = std::exp(log_min_ + static_cast<double>(i) * log_step_);
+    lambda_[i] = 1.0 / (options_.decay_periods * periods_[i]);
+  }
+}
+
+void TriageFilterBank::observe(double time, double weight) {
+  if (!(weight > 0.0)) return;
+  if (observations_ == 0) {
+    // The first burst anchors the stream; gaps start with the second.
+    first_time_ = time;
+    last_time_ = time;
+    ++observations_;
+    return;
+  }
+  const double gap = time - last_time_;
+  if (!(gap > 0.0)) return;  // straggler behind the stream head: no gap
+  const std::size_t n = periods_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    mass_[i] *= std::exp(-lambda_[i] * gap);
+  }
+  // Deposit into the bin whose centre period is nearest in log space;
+  // gaps beyond the grid clamp to the edge bins.
+  const double offset = (std::log(gap) - log_min_) / log_step_;
+  const auto bin = static_cast<std::size_t>(
+      std::clamp(std::lround(offset), 0l, static_cast<long>(n - 1)));
+  mass_[bin] += weight;
+  last_time_ = time;
+  ++observations_;
+}
+
+double TriageFilterBank::band_score(std::size_t i) const {
+  // A bin at period T holds its mass for decay_periods * T seconds, so
+  // raw masses are biased towards long periods by a factor of T. Scoring
+  // mass * lambda (= recent deposit *rate*) removes that bias: broad
+  // aperiodic gap distributions then score evenly instead of piling
+  // their apparent weight onto the slowest bins.
+  return mass_[i] * lambda_[i];
+}
+
+double TriageFilterBank::band_mass(std::size_t i) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < mass_.size(); ++j) total += band_score(j);
+  if (total <= 0.0) return 0.0;
+  return band_score(i) / total;
+}
+
+TriageEstimate TriageFilterBank::estimate() const {
+  TriageEstimate est;
+  est.observations = observations_;
+  if (observations_ < 2) return est;
+  const double span = last_time_ - first_time_;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) total += band_score(i);
+  if (total <= 0.0) return est;
+
+  // Eligible bins have seen min_cycles of their own period; the dominant
+  // period is the eligible bin with the highest deposit rate.
+  std::size_t eligible = 0;
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < periods_.size(); ++i) {
+    if (span < options_.min_cycles * periods_[i]) break;  // ascending
+    ++eligible;
+    if (band_score(i) > best_score) {
+      best_score = band_score(i);
+      best = i;
+    }
+  }
+  if (eligible == 0 || best_score <= 0.0) return est;
+
+  // Log-parabolic refinement over the neighbouring bins sharpens the
+  // estimate below the bin-grid spacing when jitter spread the peak.
+  const double ym = best > 0 ? band_score(best - 1) : 0.0;
+  const double y0 = band_score(best);
+  const double yp = best + 1 < periods_.size() ? band_score(best + 1) : 0.0;
+  double log_period = std::log(periods_[best]);
+  const double denom = ym - 2.0 * y0 + yp;
+  if (denom < 0.0) {
+    const double delta = std::clamp(0.5 * (ym - yp) / denom, -0.5, 0.5);
+    log_period += delta * log_step_;
+  }
+  est.period = std::exp(log_period);
+  est.frequency = 1.0 / est.period;
+  // Confidence: how much of the recent inter-arrival mass sits on this
+  // peak (centre bin plus its immediate neighbours).
+  est.confidence = (ym + y0 + yp) / total;
+  return est;
+}
+
+std::size_t TriageFilterBank::memory_bytes() const {
+  const std::size_t vectors =
+      periods_.capacity() + lambda_.capacity() + mass_.capacity();
+  return sizeof(*this) + vectors * sizeof(double);
+}
+
+}  // namespace ftio::core

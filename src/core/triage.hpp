@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftio::core {
+
+/// Geometry and forgetting of the TriageFilterBank.
+struct TriageBankOptions {
+  /// Number of period bins; their centre periods are log-spaced over
+  /// [min_period, max_period]. The per-observation cost is O(bands), so
+  /// this directly prices the triage tier.
+  std::size_t bands = 32;
+  double min_period = 1.0;    ///< seconds, shortest resolvable period
+  double max_period = 512.0;  ///< seconds, longest resolvable period
+  /// Forgetting horizon of each bin, in multiples of its own centre
+  /// period: a bin at period T discounts accumulated weight by 1/e after
+  /// decay_periods * T seconds. Longer horizons sharpen the estimate on
+  /// steady traces but slow drift detection.
+  double decay_periods = 6.0;
+  /// A bin is only eligible as the dominant period once the observed
+  /// time span covers this many of its periods — the same minimum-cycles
+  /// rule the full DFT pipeline applies, guarding against promoting a
+  /// period the stream has not yet repeated.
+  double min_cycles = 3.0;
+};
+
+/// Dominant-period estimate read off the filter bank.
+struct TriageEstimate {
+  double period = 0.0;     ///< 0 when no bin qualifies yet
+  double frequency = 0.0;  ///< 1 / period
+  /// Fraction of the bank's decayed inter-arrival mass concentrated in
+  /// the dominant bin and its two neighbours, in [0, 1]. 1 means every
+  /// recent flush gap landed on the same period; aperiodic traffic
+  /// spreads its mass across the bank and scores low.
+  double confidence = 0.0;
+  std::size_t observations = 0;
+
+  bool valid() const { return period > 0.0; }
+};
+
+/// Frequency-Cam-style incremental dominant-period tracker: a bank of
+/// exponentially forgetting inter-arrival accumulators ("IIR filter
+/// bank") at log-spaced candidate periods. Each observation — an I/O
+/// burst at time t carrying `weight` bytes — deposits its gap to the
+/// previous burst into the matching period bin and decays every bin by
+/// the elapsed time, mirroring how Frequency Cam derives per-pixel
+/// periods from the filtered time between events. One observation costs
+/// O(bands) arithmetic and no memory, so a streaming session gets a
+/// real-time period estimate from a fixed few-hundred-byte state
+/// regardless of stream length. Working on gaps instead of phasor
+/// coherence sidesteps the classic failure modes of a coarse band grid:
+/// an off-grid fundamental loses no score to exactly-aligned harmonic
+/// bands (a period-T train has gaps at T only), and bins far below the
+/// flush cadence never see any mass. The estimate is deliberately
+/// coarse next to the full spectral pipeline (bin-grid resolution,
+/// refined by log-parabolic interpolation); its job is triage: detect
+/// *stability* and *drift* cheaply so the expensive pipeline only runs
+/// when the answer might change.
+class TriageFilterBank {
+ public:
+  explicit TriageFilterBank(TriageBankOptions options = {});
+
+  /// Folds one observation into the bank: every bin is decayed by the
+  /// time elapsed since the previous observation, then `weight` is added
+  /// to the bin whose centre period is nearest the observed gap (gaps
+  /// beyond the grid clamp to the edge bins). Non-positive weights are
+  /// ignored; an out-of-order time (at or before the previous
+  /// observation) yields no usable gap and is dropped without
+  /// corrupting the accumulated state.
+  void observe(double time, double weight);
+
+  /// Current dominant-period estimate; invalid until enough span
+  /// accumulated for the winning bin to be eligible.
+  TriageEstimate estimate() const;
+
+  std::size_t band_count() const { return periods_.size(); }
+  double band_period(std::size_t i) const { return periods_[i]; }
+  /// Share of the bank's recent deposit rate held by bin i, in [0, 1]
+  /// (0 before any weight arrived).
+  double band_mass(std::size_t i) const;
+  std::size_t observation_count() const { return observations_; }
+
+  /// Resident bytes of the bank (fixed after construction).
+  std::size_t memory_bytes() const;
+
+ private:
+  /// Decay-normalized deposit rate of bin i (mass * lambda): the
+  /// long-period bias of raw held mass cancelled.
+  double band_score(std::size_t i) const;
+
+  TriageBankOptions options_;
+  std::vector<double> periods_;  ///< bin centre periods, ascending
+  std::vector<double> lambda_;   ///< forgetting rate per bin
+  std::vector<double> mass_;     ///< decayed gap weight per bin
+  double log_min_ = 0.0;         ///< log(min_period), for bin lookup
+  double log_step_ = 0.0;        ///< log spacing between bin centres
+  double first_time_ = 0.0;
+  double last_time_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace ftio::core

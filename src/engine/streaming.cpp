@@ -20,6 +20,10 @@ void validate_strategy(const ftio::core::OnlineOptions& options,
                      "StreamingSession: fixed_window must be positive");
 }
 
+std::size_t cache_bytes(const std::vector<double>& samples) {
+  return samples.capacity() * sizeof(double);
+}
+
 }  // namespace
 
 StreamingSession::StreamingSession(StreamingOptions options)
@@ -27,21 +31,36 @@ StreamingSession::StreamingSession(StreamingOptions options)
         ftio::trace::BandwidthOptions bw;
         bw.kind = options_.online.base.kind;
         return bw;
-      }()) {
+      }()),
+      triage_bank_(options_.triage.bank) {
   ftio::util::expect(options_.online.adaptive_hits >= 1,
                      "StreamingSession: adaptive_hits must be >= 1");
   validate_strategy(options_.online, options_.online.strategy);
   members_.reserve(options_.ensemble.size());
   for (const auto strategy : options_.ensemble) {
     validate_strategy(options_.online, strategy);
-    members_.push_back(Member{strategy, {}, {}});
+    members_.push_back(Member{strategy, {}, {}, {}});
   }
   member_caches_.resize(members_.size());
   dirty_since_ = kInfinity;
+  ftio::util::expect(!options_.compaction.enabled ||
+                         options_.compaction.lookback_slack >= 1.0,
+                     "StreamingSession: lookback_slack must be >= 1");
+  // first_phase_end scans the curve from its support start; evicting the
+  // head would silently move the detected phase boundary.
+  ftio::util::expect(!(options_.compaction.enabled &&
+                       options_.online.base.skip_first_phase),
+                     "StreamingSession: compaction is incompatible with "
+                     "skip_first_phase");
+  ftio::util::expect(!options_.triage.enabled ||
+                         options_.triage.warmup_analyses >= 1,
+                     "StreamingSession: warmup_analyses must be >= 1");
 }
 
 void StreamingSession::ingest(
     std::span<const ftio::trace::IoRequest> requests) {
+  double chunk_bytes = 0.0;
+  double chunk_byte_time = 0.0;
   for (const auto& r : requests) {
     if (request_count_ == 0) {
       begin_time_ = r.start;
@@ -57,6 +76,17 @@ void StreamingSession::ingest(
                     d < min_request_duration_)) {
       min_request_duration_ = d;
     }
+    if (options_.triage.enabled) {
+      const auto bytes = static_cast<double>(r.bytes);
+      chunk_bytes += bytes;
+      chunk_byte_time += bytes * r.start;
+    }
+  }
+  // One aggregated observation per flush keeps the triage tier O(bands)
+  // per ingest: the byte-weighted mean start time is the chunk's burst
+  // position, the byte total its weight.
+  if (options_.triage.enabled && chunk_bytes > 0.0) {
+    triage_bank_.observe(chunk_byte_time / chunk_bytes, chunk_bytes);
   }
   dirty_since_ = std::min(dirty_since_, bandwidth_.extend(requests));
 }
@@ -116,6 +146,58 @@ void StreamingSession::discretize_into_cache(
   cache.valid = true;
 }
 
+bool StreamingSession::should_skip_analysis() {
+  const TriageOptions& triage = options_.triage;
+  if (!triage.enabled) return false;
+  if (triage_stats_.full_analyses < triage.warmup_analyses) return false;
+  if (!last_full_primary_.found()) return false;
+  if (!triage_reference_.valid()) return false;
+  if (skipped_since_full_ >= triage.max_skipped) {
+    ++triage_stats_.cadence_retriggers;
+    return false;
+  }
+  const ftio::core::TriageEstimate estimate = triage_bank_.estimate();
+  if (!estimate.valid() || estimate.confidence < triage.min_confidence) {
+    ++triage_stats_.confidence_retriggers;
+    return false;
+  }
+  // Drift is measured bank-vs-bank (estimate now against the estimate at
+  // the last full analysis), so the band-grid quantisation cancels.
+  const double drift =
+      std::abs(std::log(estimate.period / triage_reference_.period));
+  if (drift > std::log1p(triage.drift_tolerance)) {
+    ++triage_stats_.drift_retriggers;
+    return false;
+  }
+  return true;
+}
+
+ftio::core::Prediction StreamingSession::skipped_prediction(double now) {
+  // The estimate is stable, so the last full analysis still answers: re-
+  // stamp it instead of re-running discretisation + spectra + outliers.
+  // The synthesized prediction feeds the window-adaptation state exactly
+  // like a real one, so a steady-period adaptive session evolves as if
+  // every flush had been analysed.
+  ftio::core::Prediction p = last_full_primary_;
+  p.at_time = now;
+  p.from_triage = true;
+  history_.push_back(p);
+  trim_history(history_);
+  ftio::core::record_online_result(state_, p);
+  for (auto& member : members_) {
+    ftio::core::Prediction mp = member.last_full;
+    mp.at_time = now;
+    mp.from_triage = true;
+    member.history.push_back(mp);
+    trim_history(member.history);
+    ftio::core::record_online_result(member.state, mp);
+  }
+  intervals_stale_ = true;
+  ++triage_stats_.skipped;
+  ++skipped_since_full_;
+  return p;
+}
+
 ftio::core::Prediction StreamingSession::predict() {
   ftio::util::expect(request_count_ > 0,
                      "StreamingSession: no data ingested");
@@ -125,15 +207,28 @@ ftio::core::Prediction StreamingSession::predict() {
   const double now = end_time_;
   const double begin = begin_time_;
 
+  if (should_skip_analysis()) {
+    const ftio::core::Prediction p = skipped_prediction(now);
+    maybe_compact(now);
+    return p;
+  }
+
   ftio::core::FtioOptions base = options_.online.base;
   base.window_end = now;
   base.sampling_frequency = derived_sampling_frequency();
+
+  const auto note_clamped = [this](double requested) {
+    if (bandwidth_.floor_time() && requested < *bandwidth_.floor_time()) {
+      ++compaction_stats_.clamped_windows;
+    }
+  };
 
   // Primary window: shared selection logic, then extend the cached sample
   // vector — a full re-read of the window only happens when the grid
   // moved (adaptive/fixed look-back) or the sampling setup changed.
   const double primary_start =
       select_online_window(options_.online, state_, begin, now);
+  note_clamped(primary_start);
   ftio::core::FtioOptions primary_opts = base;
   primary_opts.window_start = primary_start;
   const ftio::core::AnalysisWindow primary_window =
@@ -149,6 +244,7 @@ ftio::core::Prediction StreamingSession::predict() {
     member_options.strategy = members_[i].strategy;
     const double member_start = select_online_window(
         member_options, members_[i].state, begin, now);
+    note_clamped(member_start);
     ftio::core::FtioOptions member_opts = base;
     member_opts.window_start = member_start;
     member_windows[i] =
@@ -177,18 +273,98 @@ ftio::core::Prediction StreamingSession::predict() {
   const ftio::core::Prediction p =
       ftio::core::prediction_from_result(results[0], now);
   history_.push_back(p);
+  trim_history(history_);
   ftio::core::record_online_result(state_, p);
+  last_full_primary_ = p;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     const ftio::core::Prediction mp =
         ftio::core::prediction_from_result(results[1 + i], now);
     members_[i].history.push_back(mp);
+    trim_history(members_[i].history);
     ftio::core::record_online_result(members_[i].state, mp);
+    members_[i].last_full = mp;
   }
   last_result_ = std::move(results[0]);
   intervals_stale_ = true;
   // Every cache consumed the dirty range above; fresh ingests restart it.
   dirty_since_ = kInfinity;
+  if (options_.triage.enabled) {
+    triage_reference_ = triage_bank_.estimate();
+  }
+  ++triage_stats_.full_analyses;
+  skipped_since_full_ = 0;
+  maybe_compact(now);
   return p;
+}
+
+void StreamingSession::maybe_compact(double now) {
+  if (!options_.compaction.enabled) return;
+  // The earliest window start any strategy could select for its next
+  // evaluation. A kGrowing strategy (or an adaptive one that has not
+  // shrunk yet) pins this to the trace begin, which disables eviction —
+  // their look-back genuinely spans the stream.
+  double reach =
+      ftio::core::peek_online_window(options_.online, state_, begin_time_,
+                                     now);
+  for (const auto& member : members_) {
+    ftio::core::OnlineOptions member_options = options_.online;
+    member_options.strategy = member.strategy;
+    reach = std::min(reach,
+                     ftio::core::peek_online_window(member_options,
+                                                    member.state, begin_time_,
+                                                    now));
+  }
+  const double lookback = now - reach;
+  const double keep =
+      std::max(lookback * options_.compaction.lookback_slack,
+               options_.compaction.min_keep_seconds);
+  const double horizon = now - keep;
+
+  const std::size_t segments_before = bandwidth_.curve().segment_count();
+  const std::size_t evicted = bandwidth_.compact(horizon);
+  if (evicted > 0) {
+    ++compaction_stats_.compactions;
+    compaction_stats_.evicted_events += evicted;
+    compaction_stats_.evicted_segments +=
+        segments_before - bandwidth_.curve().segment_count();
+  }
+  compaction_stats_.retained_start = bandwidth_.curve().start_time();
+
+  // Discretisation caches rebuild when their anchor moves (the retained
+  // support start advanced past it); what compaction adds is releasing
+  // the over-sized buffers a once-long window left behind.
+  const auto shrink = [](SampleCache& cache) {
+    if (cache.samples.capacity() > 2 * cache.samples.size()) {
+      cache.samples.shrink_to_fit();
+    }
+  };
+  shrink(primary_cache_);
+  for (auto& cache : member_caches_) shrink(cache);
+}
+
+void StreamingSession::trim_history(
+    std::vector<ftio::core::Prediction>& history) const {
+  const std::size_t cap = options_.compaction.max_history;
+  if (cap == 0 || history.size() <= cap) return;
+  history.erase(history.begin(),
+                history.end() - static_cast<std::ptrdiff_t>(cap));
+}
+
+std::size_t StreamingSession::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  total += bandwidth_.memory_bytes();
+  total += cache_bytes(primary_cache_.samples);
+  for (const auto& cache : member_caches_) total += cache_bytes(cache.samples);
+  total += history_.capacity() * sizeof(ftio::core::Prediction);
+  total += members_.capacity() * sizeof(Member);
+  for (const auto& member : members_) {
+    total += member.history.capacity() * sizeof(ftio::core::Prediction);
+  }
+  total += member_caches_.capacity() * sizeof(SampleCache);
+  total += intervals_.capacity() * sizeof(ftio::core::FrequencyInterval);
+  total += triage_bank_.memory_bytes();
+  total += app_.capacity();
+  return total;
 }
 
 const std::vector<ftio::core::Prediction>& StreamingSession::ensemble_history(

@@ -7,10 +7,87 @@
 
 #include "core/ftio.hpp"
 #include "core/online.hpp"
+#include "core/triage.hpp"
 #include "engine/engine.hpp"
 #include "trace/model.hpp"
 
 namespace ftio::engine {
+
+/// Bounds per-session memory to O(analysis window). After every predict()
+/// the session computes the earliest window start any of its strategies
+/// could select next (via core::peek_online_window) and evicts sweep
+/// events, bandwidth-curve segments, and over-sized discretisation
+/// buffers older than `lookback_slack` times that look-back. Inside the
+/// retained span everything is bit-identical to the uncompacted path.
+/// Because the horizon is peeked from the exact strategy state the next
+/// predict() will select with, retention always covers the next
+/// reachable window; a window whose start nevertheless lands below the
+/// retained edge is clamped there and counted in
+/// CompactionStats::clamped_windows as a defensive diagnostic — it
+/// stays 0 for the built-in strategies. A kGrowing strategy pins
+/// the look-back to the whole stream and disables eviction — growing
+/// sessions are O(requests) by definition.
+struct CompactionOptions {
+  bool enabled = false;
+  /// Retained span = lookback_slack * (largest next-window look-back).
+  /// Must be >= 1; the margin above 1 absorbs windows that regrow after
+  /// eviction (an adaptive period increase re-reaches old data).
+  double lookback_slack = 2.0;
+  /// Never retain less than this many seconds of curve.
+  double min_keep_seconds = 0.0;
+  /// Keep at most this many predictions per history (primary and each
+  /// ensemble member); 0 keeps everything. merged_intervals() then works
+  /// over the retained tail, with probabilities relative to it.
+  std::size_t max_history = 0;
+};
+
+struct CompactionStats {
+  std::size_t compactions = 0;       ///< compact() calls that evicted
+  std::size_t evicted_events = 0;    ///< sweep events dropped
+  std::size_t evicted_segments = 0;  ///< curve segments dropped
+  /// Windows whose requested start lay below the retained edge and were
+  /// clamped there (predictions then diverge from the uncompacted path).
+  /// Defensive diagnostic: the peek-ahead horizon keeps this at 0 for
+  /// the built-in strategies.
+  std::size_t clamped_windows = 0;
+  double retained_start = 0.0;       ///< current curve support start
+};
+
+/// The cheap online triage tier (Frequency-Cam-style): every ingest
+/// feeds one aggregated observation into a core::TriageFilterBank, and
+/// predict() skips the full spectral pipeline while the bank's
+/// dominant-period estimate is stable — a skipped flush returns the last
+/// full prediction re-stamped (Prediction::from_triage set) for O(bands)
+/// arithmetic instead of a discretise + FFT + outlier sweep. The full
+/// pipeline re-triggers on period drift, on a confidence drop, and on a
+/// fixed cadence, so the estimate can never run away silently. Whenever
+/// the full pipeline does run, its prediction is bit-identical to the
+/// always-analyse path for the state-independent window strategies
+/// (kGrowing, kFixedLength); kAdaptive carries the synthesized
+/// predictions into its adaptation state, which matches exactly on
+/// steady-period traces (the only traces the tier skips on).
+struct TriageOptions {
+  bool enabled = false;
+  ftio::core::TriageBankOptions bank;
+  /// Full analysis re-triggers when the bank estimate drifts more than
+  /// this relative factor from its value at the last full analysis.
+  double drift_tolerance = 0.25;
+  /// Full analysis re-triggers when the bank's phase coherence drops
+  /// below this (the pattern became ambiguous).
+  double min_confidence = 0.6;
+  /// Run this many full analyses before the first skip is allowed.
+  std::size_t warmup_analyses = 3;
+  /// Force a full analysis after this many consecutive skips.
+  std::size_t max_skipped = 63;
+};
+
+struct TriageStats {
+  std::size_t full_analyses = 0;
+  std::size_t skipped = 0;
+  std::size_t drift_retriggers = 0;       ///< full runs forced by drift
+  std::size_t confidence_retriggers = 0;  ///< forced by low coherence
+  std::size_t cadence_retriggers = 0;     ///< forced by max_skipped
+};
 
 /// Configuration of a StreamingSession.
 struct StreamingOptions {
@@ -25,6 +102,10 @@ struct StreamingOptions {
   std::vector<ftio::core::WindowStrategy> ensemble;
   /// Fan-out knobs for the per-flush analyze_many batch.
   EngineOptions engine;
+  /// O(window) state eviction (off by default: exact O(requests) mode).
+  CompactionOptions compaction;
+  /// Cheap skip-the-pipeline tier (off by default: always analyse).
+  TriageOptions triage;
 };
 
 /// Streaming online predictor: the ROADMAP's "streaming/online batching"
@@ -47,26 +128,32 @@ struct StreamingOptions {
 /// The ingested requests are folded into the sweep's event log (two
 /// endpoints per selected request) instead of being retained as a Trace,
 /// so per-flush cost is ~O(chunk + analysis window) instead of O(total
-/// trace) — see bench/micro_streaming.cpp for the trajectory. The event
-/// log itself still grows with the stream (the growing strategy can look
-/// back arbitrarily far); compacting events beyond the largest reachable
-/// look-back window is a ROADMAP follow-on.
+/// trace). With CompactionOptions::enabled the event log and curve are
+/// additionally evicted behind the largest reachable look-back window,
+/// bounding per-session memory to O(window) instead of O(requests); with
+/// TriageOptions::enabled most flushes on a steady-period trace skip the
+/// full pipeline entirely. See bench/micro_streaming.cpp for the
+/// trajectory of all three tiers.
 class StreamingSession {
  public:
   explicit StreamingSession(StreamingOptions options);
 
-  /// Appends freshly flushed requests, extending the incremental curve.
+  /// Appends freshly flushed requests, extending the incremental curve
+  /// (and, when triage is enabled, the dominant-period filter bank).
   void ingest(std::span<const ftio::trace::IoRequest> requests);
   void ingest(const ftio::trace::Trace& chunk);
 
   /// Runs one evaluation of the primary strategy (plus every ensemble
   /// member) over the current windows and records it. Returns the primary
   /// Prediction — bit-identical to what core::OnlinePredictor::predict()
-  /// would return after the same ingest sequence. Throws InvalidArgument
-  /// when no data was ingested yet.
+  /// would return after the same ingest sequence (see TriageOptions /
+  /// CompactionOptions for the scope of that promise when the cheap
+  /// tiers are enabled). Throws InvalidArgument when no data was
+  /// ingested yet.
   ftio::core::Prediction predict();
 
-  /// Primary predictions made so far, in order.
+  /// Primary predictions made so far, in order (the retained tail when
+  /// CompactionOptions::max_history is set).
   const std::vector<ftio::core::Prediction>& history() const {
     return history_;
   }
@@ -77,7 +164,8 @@ class StreamingSession {
       std::size_t i) const;
 
   /// Full result of the latest primary evaluation (abstraction error and
-  /// metrics included, like the offline detect()).
+  /// metrics included, like the offline detect()). Unchanged by skipped
+  /// flushes: always the latest *full* analysis.
   const ftio::core::FtioResult& last_result() const { return last_result_; }
 
   /// Merged frequency intervals of the primary history (Sec. II-D);
@@ -85,7 +173,8 @@ class StreamingSession {
   const std::vector<ftio::core::FrequencyInterval>& merged_intervals() const;
 
   /// The incrementally maintained application-level bandwidth curve —
-  /// bit-identical to trace::bandwidth_signal over all ingested requests.
+  /// bit-identical to trace::bandwidth_signal over all ingested requests
+  /// (over the retained suffix once compaction evicted).
   const ftio::signal::StepFunction& bandwidth() const {
     return bandwidth_.curve();
   }
@@ -100,11 +189,27 @@ class StreamingSession {
   const std::string& app() const { return app_; }
   int rank_count() const { return rank_count_; }
 
+  // O(window) / triage observability.
+  const CompactionStats& compaction_stats() const { return compaction_stats_; }
+  const TriageStats& triage_stats() const { return triage_stats_; }
+  /// Current filter-bank estimate (invalid when triage is disabled or
+  /// the bank has not warmed up yet).
+  ftio::core::TriageEstimate triage_estimate() const {
+    return triage_bank_.estimate();
+  }
+  /// Approximate resident bytes of all per-session state: sweep events,
+  /// level cache, curve, discretisation caches, histories, intervals,
+  /// and the filter bank. Capacity-based, so eviction without
+  /// shrink-to-fit would not show up as savings.
+  std::size_t memory_bytes() const;
+
  private:
   struct Member {
     ftio::core::WindowStrategy strategy;
     ftio::core::OnlineWindowState state;
     std::vector<ftio::core::Prediction> history;
+    /// Latest full-analysis prediction (the triage skip template).
+    ftio::core::Prediction last_full;
   };
 
   /// Incrementally extended discretisation of one evaluation window.
@@ -129,6 +234,14 @@ class StreamingSession {
   void discretize_into_cache(SampleCache& cache,
                              const ftio::core::AnalysisWindow& window,
                              const ftio::core::FtioOptions& base);
+  /// True when the triage tier may satisfy this flush without the full
+  /// pipeline (stable estimate, warmed up, within the skip cadence).
+  bool should_skip_analysis();
+  /// The skipped-flush path: re-stamps the last full predictions.
+  ftio::core::Prediction skipped_prediction(double now);
+  /// Evicts state behind the largest reachable look-back window.
+  void maybe_compact(double now);
+  void trim_history(std::vector<ftio::core::Prediction>& history) const;
 
   StreamingOptions options_;
   trace::IncrementalBandwidth bandwidth_;
@@ -149,12 +262,22 @@ class StreamingSession {
   // Incremental discretisation caches: primary window + one per member.
   SampleCache primary_cache_;
   std::vector<SampleCache> member_caches_;
-  /// Earliest curve time changed by ingests since the last predict().
+  /// Earliest curve time changed by ingests since the last full
+  /// analysis (skipped flushes leave it accumulating).
   double dirty_since_ = 0.0;
 
   // Cached DBSCAN merge of the primary history.
   mutable std::vector<ftio::core::FrequencyInterval> intervals_;
   mutable bool intervals_stale_ = false;
+
+  // Triage tier state.
+  ftio::core::TriageFilterBank triage_bank_;
+  ftio::core::TriageEstimate triage_reference_;  ///< bank @ last full run
+  ftio::core::Prediction last_full_primary_;
+  std::size_t skipped_since_full_ = 0;
+  TriageStats triage_stats_;
+
+  CompactionStats compaction_stats_;
 };
 
 }  // namespace ftio::engine

@@ -84,6 +84,22 @@ void StepFunction::splice_tail(std::size_t keep_boundaries,
   }
 }
 
+void StepFunction::trim_front(std::size_t drop_boundaries) {
+  if (drop_boundaries == 0) return;
+  ftio::util::expect(drop_boundaries < values_.size(),
+                     "StepFunction::trim_front: at least one segment "
+                     "must remain");
+  times_.erase(times_.begin(),
+               times_.begin() + static_cast<std::ptrdiff_t>(drop_boundaries));
+  values_.erase(values_.begin(),
+                values_.begin() + static_cast<std::ptrdiff_t>(drop_boundaries));
+}
+
+void StepFunction::shrink_to_fit() {
+  if (times_.capacity() > 2 * times_.size()) times_.shrink_to_fit();
+  if (values_.capacity() > 2 * values_.size()) values_.shrink_to_fit();
+}
+
 DiscretizedSignal discretize(const StepFunction& f, double fs,
                              SamplingMode mode) {
   ftio::util::expect(fs > 0.0, "discretize: fs must be positive");

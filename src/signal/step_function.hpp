@@ -50,6 +50,25 @@ class StepFunction {
                    std::span<const double> new_times,
                    std::span<const double> new_values);
 
+  /// Drops the first `drop_boundaries` boundaries and their segments:
+  /// times[drop_boundaries] becomes the new support start. The retained
+  /// boundary times and segment values are preserved bit for bit (the
+  /// function is unchanged on the new support; evicted times read as 0).
+  /// At least one segment must remain. Used by
+  /// trace::IncrementalBandwidth::compact to bound streaming-session
+  /// curves to the analysis window.
+  void trim_front(std::size_t drop_boundaries);
+
+  /// Releases over-sized buffers after evictions: shrinks the backing
+  /// vectors when their capacity exceeds twice the live size.
+  void shrink_to_fit();
+
+  /// Resident bytes of the backing storage (capacity, not size — the
+  /// figure streaming memory accounting wants).
+  std::size_t memory_bytes() const {
+    return (times_.capacity() + values_.capacity()) * sizeof(double);
+  }
+
  private:
   std::vector<double> times_;
   std::vector<double> values_;

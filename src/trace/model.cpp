@@ -197,7 +197,7 @@ double IncrementalBandwidth::extend(std::span<const IoRequest> requests) {
                          return e.time < t;
                        }) -
       events_.begin());
-  const double level = keep > 0 ? raw_levels_[keep - 1] : 0.0;
+  const double level = keep > 0 ? raw_levels_[keep - 1] : base_level_;
   raw_levels_.resize(keep);
 
   std::vector<double> tail_times;
@@ -211,6 +211,58 @@ double IncrementalBandwidth::extend(std::span<const IoRequest> requests) {
   sweep_tail(events_, from, level, tail_times, tail_values, &raw_levels_);
   curve_.splice_tail(keep, tail_times, tail_values);
   return dirty;
+}
+
+std::size_t IncrementalBandwidth::compact(double horizon) {
+  if (curve_.empty()) return 0;
+  const auto boundaries = curve_.times();
+  if (horizon <= boundaries.front()) return 0;
+
+  // Cut at the start of the segment containing `horizon` (aligning down
+  // keeps the curve bit-identical at and after `horizon`), and always
+  // keep at least one segment so the curve stays analysable.
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), horizon);
+  std::size_t cut = static_cast<std::size_t>(it - boundaries.begin()) - 1;
+  cut = std::min(cut, curve_.segment_count() - 1);
+  if (cut == 0) return 0;
+  const double cut_time = boundaries[cut];
+
+  // The running level entering the cut boundary replaces the evicted
+  // event prefix: a later re-sweep of the whole retained range restarts
+  // from it instead of from zero.
+  base_level_ = raw_levels_[cut - 1];
+
+  const auto first_kept = std::lower_bound(
+      events_.begin(), events_.end(), cut_time,
+      [](const BandwidthEvent& e, double t) { return e.time < t; });
+  const auto evicted = static_cast<std::size_t>(first_kept - events_.begin());
+  events_.erase(events_.begin(), first_kept);
+  raw_levels_.erase(raw_levels_.begin(),
+                    raw_levels_.begin() + static_cast<std::ptrdiff_t>(cut));
+  curve_.trim_front(cut);
+
+  // Late chunks reaching below the cut are clipped exactly like a
+  // window_start: re-admitting them would need the evicted prefix sums.
+  floor_ = cut_time;
+  if (!options_.window_start || *options_.window_start < cut_time) {
+    options_.window_start = cut_time;
+  }
+
+  // Return freed capacity to the allocator once it dominates live data —
+  // the point of compaction is a flat memory footprint, not just flat
+  // element counts.
+  if (events_.capacity() > 2 * events_.size()) events_.shrink_to_fit();
+  if (raw_levels_.capacity() > 2 * raw_levels_.size()) {
+    raw_levels_.shrink_to_fit();
+  }
+  curve_.shrink_to_fit();
+  return evicted;
+}
+
+std::size_t IncrementalBandwidth::memory_bytes() const {
+  return events_.capacity() * sizeof(BandwidthEvent) +
+         raw_levels_.capacity() * sizeof(double) + curve_.memory_bytes();
 }
 
 ftio::signal::StepFunction bandwidth_signal(const Trace& trace,

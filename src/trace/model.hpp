@@ -106,14 +106,41 @@ class IncrementalBandwidth {
   /// contributed no events (all filtered out).
   double extend(std::span<const IoRequest> requests);
 
+  /// Evicts sweep events and curve segments strictly older than
+  /// `horizon`, bounding the retained state to the curve suffix from the
+  /// last boundary at or before `horizon` (the cut aligns down to a
+  /// segment boundary, and at least one segment always remains). The
+  /// retained boundaries, segment values, and cached sweep levels are
+  /// preserved bit for bit, and the evicted prefix is folded into a base
+  /// running level, so every later extend() — including one that dirties
+  /// the entire retained range — re-sweeps to exactly the curve an
+  /// uncompacted instance would hold over the retained support. Future
+  /// chunks are clipped at the cut like a BandwidthOptions::window_start:
+  /// requests wholly before it are dropped, spanning requests keep only
+  /// their retained part. Returns the number of evicted events.
+  std::size_t compact(double horizon);
+
+  /// The eviction cut of the latest compact() call: times before it are
+  /// evicted and incoming requests are clipped against it. Unset until
+  /// compact() first evicts.
+  std::optional<double> floor_time() const { return floor_; }
+
   const ftio::signal::StepFunction& curve() const { return curve_; }
   std::size_t event_count() const { return events_.size(); }
+
+  /// Resident bytes of events, level cache, and curve (capacities).
+  std::size_t memory_bytes() const;
 
  private:
   BandwidthOptions options_;
   std::vector<BandwidthEvent> events_;   ///< sorted by bandwidth_event_less
   std::vector<double> raw_levels_;       ///< unclamped level per boundary
   ftio::signal::StepFunction curve_;
+  /// Running sweep level entering the first retained boundary: the sum of
+  /// every evicted event's delta, replayed in original order. 0 until a
+  /// compact() evicts.
+  double base_level_ = 0.0;
+  std::optional<double> floor_;
 };
 
 /// Computes the application-level bandwidth-over-time curve by overlapping

@@ -233,6 +233,41 @@ TEST(StepFunction, MaxValue) {
   EXPECT_DOUBLE_EQ(f.max_value(), 9.0);
 }
 
+TEST(StepFunction, TrimFrontDropsPrefixBitExact) {
+  sig::StepFunction f({0.0, 1.0, 2.0, 3.0, 4.0}, {1.5, 9.25, 4.125, 7.0});
+  f.trim_front(2);
+  ASSERT_EQ(f.segment_count(), 2u);
+  EXPECT_DOUBLE_EQ(f.start_time(), 2.0);
+  EXPECT_DOUBLE_EQ(f.end_time(), 4.0);
+  // Retained entries are the exact same doubles, evicted times read as 0.
+  EXPECT_EQ(f.times()[0], 2.0);
+  EXPECT_EQ(f.values()[0], 4.125);
+  EXPECT_EQ(f.values()[1], 7.0);
+  EXPECT_DOUBLE_EQ(f.value_at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.value_at(2.5), 4.125);
+}
+
+TEST(StepFunction, TrimFrontZeroIsNoop) {
+  sig::StepFunction f({0.0, 1.0, 2.0}, {3.0, 4.0});
+  f.trim_front(0);
+  EXPECT_EQ(f.segment_count(), 2u);
+  EXPECT_DOUBLE_EQ(f.start_time(), 0.0);
+}
+
+TEST(StepFunction, ShrinkToFitPreservesContents) {
+  std::vector<double> times{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  times.reserve(1000);
+  values.reserve(1000);
+  sig::StepFunction f(std::move(times), std::move(values));
+  const std::size_t before = f.memory_bytes();
+  f.trim_front(3);
+  f.shrink_to_fit();
+  EXPECT_LT(f.memory_bytes(), before);
+  EXPECT_DOUBLE_EQ(f.value_at(3.5), 4.0);
+  EXPECT_DOUBLE_EQ(f.value_at(4.5), 5.0);
+}
+
 // ---------------------------------------------------------------------------
 // Discretisation
 // ---------------------------------------------------------------------------

@@ -155,6 +155,132 @@ TEST(Bandwidth, ManyIdenticalRequestsScaleLinearly) {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental bandwidth compaction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Periodic write phases: 4 ranks, 2 s bursts every `period` seconds.
+std::vector<tr::IoRequest> burst_chunk(double start) {
+  std::vector<tr::IoRequest> reqs;
+  for (int r = 0; r < 4; ++r) {
+    reqs.push_back({r, start, start + 2.0, 50'000'000, tr::IoKind::kWrite});
+  }
+  return reqs;
+}
+
+}  // namespace
+
+TEST(IncrementalCompact, NoopWhenHorizonBeforeSupport) {
+  tr::IncrementalBandwidth inc;
+  inc.extend(burst_chunk(10.0));
+  EXPECT_EQ(inc.compact(5.0), 0u);
+  EXPECT_EQ(inc.compact(10.0), 0u);  // horizon == front: nothing older
+  EXPECT_FALSE(inc.floor_time().has_value());
+}
+
+TEST(IncrementalCompact, AlignsDownAndPreservesSuffixBitExact) {
+  tr::Trace all;
+  tr::IncrementalBandwidth inc;
+  for (int i = 0; i < 12; ++i) {
+    const auto chunk = burst_chunk(i * 10.0);
+    all.requests.insert(all.requests.end(), chunk.begin(), chunk.end());
+    inc.extend(chunk);
+  }
+  const std::size_t events_before = inc.event_count();
+  const std::size_t evicted = inc.compact(57.0);
+  ASSERT_GT(evicted, 0u);
+  EXPECT_EQ(inc.event_count(), events_before - evicted);
+  // The cut aligns down to a boundary at or before the horizon.
+  ASSERT_TRUE(inc.floor_time().has_value());
+  EXPECT_LE(*inc.floor_time(), 57.0);
+  EXPECT_EQ(inc.curve().start_time(), *inc.floor_time());
+
+  // Retained suffix equals the full sweep bit for bit.
+  const auto reference = tr::bandwidth_signal(all);
+  const auto& got = inc.curve();
+  const std::size_t offset =
+      reference.times().size() - got.times().size();
+  for (std::size_t i = 0; i < got.times().size(); ++i) {
+    EXPECT_EQ(got.times()[i], reference.times()[offset + i]) << i;
+  }
+  for (std::size_t i = 0; i < got.values().size(); ++i) {
+    EXPECT_EQ(got.values()[i], reference.values()[offset + i]) << i;
+  }
+}
+
+TEST(IncrementalCompact, KeepsAtLeastOneSegment) {
+  tr::IncrementalBandwidth inc;
+  inc.extend(burst_chunk(0.0));
+  inc.compact(1e9);
+  EXPECT_GE(inc.curve().segment_count(), 1u);
+  EXPECT_FALSE(inc.curve().empty());
+}
+
+TEST(IncrementalCompact, ExtendAfterCompactMatchesUncompacted) {
+  tr::IncrementalBandwidth compacted;
+  tr::IncrementalBandwidth plain;
+  for (int i = 0; i < 8; ++i) {
+    compacted.extend(burst_chunk(i * 10.0));
+    plain.extend(burst_chunk(i * 10.0));
+  }
+  ASSERT_GT(compacted.compact(40.0), 0u);
+  // Straggler dirtying the entire retained range: the re-sweep must
+  // restart from the folded base level, not from zero.
+  std::vector<tr::IoRequest> late{
+      {1, 41.0, 78.0, 37'000'000, tr::IoKind::kWrite}};
+  compacted.extend(late);
+  plain.extend(late);
+  for (int i = 8; i < 11; ++i) {
+    compacted.extend(burst_chunk(i * 10.0));
+    plain.extend(burst_chunk(i * 10.0));
+  }
+  const auto& a = compacted.curve();
+  const auto& b = plain.curve();
+  ASSERT_LT(a.times().size(), b.times().size());
+  const std::size_t offset = b.times().size() - a.times().size();
+  for (std::size_t i = 0; i < a.times().size(); ++i) {
+    EXPECT_EQ(a.times()[i], b.times()[offset + i]) << "boundary " << i;
+  }
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    EXPECT_EQ(a.values()[i],
+              b.values()[b.values().size() - a.values().size() + i])
+        << "segment " << i;
+  }
+}
+
+TEST(IncrementalCompact, RequestsBelowFloorAreClipped) {
+  tr::IncrementalBandwidth inc;
+  for (int i = 0; i < 8; ++i) inc.extend(burst_chunk(i * 10.0));
+  ASSERT_GT(inc.compact(40.0), 0u);
+  const double floor = *inc.floor_time();
+  const std::size_t events = inc.event_count();
+
+  // Entirely before the floor: dropped, no event added.
+  std::vector<tr::IoRequest> ancient{
+      {0, 1.0, 3.0, 10'000'000, tr::IoKind::kWrite}};
+  EXPECT_TRUE(std::isinf(inc.extend(ancient)));
+  EXPECT_EQ(inc.event_count(), events);
+  EXPECT_EQ(inc.curve().start_time(), floor);
+
+  // Spanning the floor: clipped to [floor, end), bandwidth unchanged.
+  std::vector<tr::IoRequest> spanning{
+      {0, floor - 5.0, floor + 5.0, 20'000'000, tr::IoKind::kWrite}};
+  const double dirty = inc.extend(spanning);
+  EXPECT_EQ(dirty, floor);
+  EXPECT_EQ(inc.event_count(), events + 2);
+  EXPECT_EQ(inc.curve().start_time(), floor);
+}
+
+TEST(IncrementalCompact, MemoryBytesShrinkAfterEviction) {
+  tr::IncrementalBandwidth inc;
+  for (int i = 0; i < 200; ++i) inc.extend(burst_chunk(i * 10.0));
+  const std::size_t before = inc.memory_bytes();
+  ASSERT_GT(inc.compact(1900.0), 0u);
+  EXPECT_LT(inc.memory_bytes(), before / 2);
+}
+
+// ---------------------------------------------------------------------------
 // JSONL round trip
 // ---------------------------------------------------------------------------
 
