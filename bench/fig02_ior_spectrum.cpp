@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                 "(paper: 0.00896 Hz -> 111.67 s)\n",
                 r.frequency(), r.period());
     std::printf("confidence c_d: %.1f%% (paper: 60.5%%)\n",
-                100.0 * r.confidence());
+                100.0 * r.dft.confidence);
   }
 
   // Top-5 spectral bins — the zoomed lower panel of Fig. 2.
@@ -72,6 +72,6 @@ int main(int argc, char** argv) {
   for (const auto& c : r2.dft.candidates) suppressed += c.harmonic_suppressed;
   std::printf("\ntolerance 0.45: c_d = %.1f%% (paper: 62.5%%), "
               "harmonic-suppressed candidates: %d\n",
-              100.0 * r2.confidence(), suppressed);
+              100.0 * r2.dft.confidence, suppressed);
   return 0;
 }

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   }
   const auto& acf = *r.acf;
   std::printf("DFT period: %.2f s, c_d = %.1f%%\n", r.period(),
-              100.0 * r.confidence());
+              100.0 * r.dft.confidence);
   std::printf("ACF peaks detected: %zu\n", acf.peak_lags.size());
   std::printf("raw inter-peak periods: %zu (paper: 17)\n",
               acf.raw_periods.size());

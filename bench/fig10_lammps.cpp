@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     std::printf("dominant frequency: %.4f Hz -> period %.2f s "
                 "(paper: 0.039 Hz -> 25.73 s)\n",
                 r.frequency(), r.period());
-    std::printf("c_d: %.1f%% (paper: 55.0%%)\n", 100.0 * r.confidence());
+    std::printf("c_d: %.1f%% (paper: 55.0%%)\n", 100.0 * r.dft.confidence);
     std::printf("refined confidence: %.1f%% (paper: 84.9%%)\n",
                 100.0 * r.refined_confidence);
   }

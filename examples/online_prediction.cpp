@@ -62,6 +62,19 @@ int main() {
     // previous flush, ship them to the trace sink, and feed the same
     // chunk to the session (flushing first would mark them as already
     // consumed and unflushed_chunk would come back empty).
+    // A few flushes in, widen the detector set: Lomb–Scargle reads the
+    // raw curve knots alongside the default {dft, acf} pair from the
+    // next full analysis on. Swapping detectors is free at any flush
+    // boundary — the incremental curve and sample caches carry over.
+    // (Once the triage bank answers steady flushes, full analyses — and
+    // with them the registry — only rerun on drift or cadence checks.)
+    if (loop == 3) {
+      ftio::core::DetectorSetOptions detectors;
+      detectors.detectors = {{"dft", 1.0}, {"acf", 1.0},
+                             {"lomb-scargle", 1.0}};
+      session.set_detectors(std::move(detectors));
+    }
+
     const auto chunk = tracer.unflushed_chunk();
     tracer.flush(chunk.end_time());
     session.ingest(chunk);
@@ -74,6 +87,29 @@ int main() {
       std::printf("%4d  %6.1fs  [%6.1f, %6.1f]  no dominant frequency yet\n",
                   loop, p.at_time, p.window_start, p.window_end);
     }
+  }
+
+  // Per-detector votes behind the last full analysis: each selected
+  // method's verdict, the triage bank's corroborate-only vote when it
+  // held a stable estimate, and the weighted fusion over all of them.
+  const auto& last_full = session.last_result();
+  std::printf("\ndetector votes (last full analysis):\n");
+  for (const auto& v : last_full.detector_verdicts) {
+    const bool corroborate =
+        (v.capabilities & ftio::core::kCapCorroborateOnly) != 0;
+    if (v.found) {
+      std::printf("  %-14s period %6.2f s  confidence %3.0f%%%s\n",
+                  v.name.c_str(), v.period, 100.0 * v.confidence,
+                  corroborate ? "  (corroborate-only)" : "");
+    } else {
+      std::printf("  %-14s no period\n", v.name.c_str());
+    }
+  }
+  if (last_full.fused.found()) {
+    std::printf("  fused: period %.2f s, confidence %.0f%%, agreement "
+                "%.0f%% over %zu votes\n",
+                last_full.fused.period, 100.0 * last_full.fused.confidence,
+                100.0 * last_full.fused.agreement, last_full.fused.supporting);
   }
 
   std::printf("\nmerged frequency intervals (DBSCAN over predictions):\n");

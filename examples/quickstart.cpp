@@ -43,7 +43,7 @@ int main() {
   if (result.periodic()) {
     std::printf("  dominant freq    : %.4f Hz\n", result.frequency());
     std::printf("  period           : %.2f s\n", result.period());
-    std::printf("  confidence (DFT) : %.1f%%\n", 100.0 * result.confidence());
+    std::printf("  confidence (DFT) : %.1f%%\n", 100.0 * result.dft.confidence);
     std::printf("  refined conf.    : %.1f%%\n",
                 100.0 * result.refined_confidence);
   }

@@ -48,6 +48,15 @@ AcfAnalysis analyze_autocorrelation_prepared(std::span<const double> acf,
                                              double fs,
                                              const AcfOptions& options = {});
 
+/// Similarity of a reference period to a set of candidate periods:
+/// 1 minus the coefficient of variation of {candidates..., period},
+/// clamped to [0, 1]. Returns 0 when there are no candidates or the
+/// period is non-positive. This is the c_s of Sec. II-C generalised to
+/// any detector's candidate list; the confidence fusion scores every
+/// secondary detector's agreement with the primary period through it.
+double period_similarity(std::span<const double> candidate_periods,
+                         double period);
+
 /// Similarity c_s of the DFT period to the ACF candidates: 1 minus the
 /// coefficient of variation of {candidates..., dft_period} (Sec. II-C
 /// "we find the similarity ... using the coefficient of variation").

@@ -1,0 +1,566 @@
+#include "core/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/ftio.hpp"
+#include "signal/autocorrelation.hpp"
+#include "signal/lombscargle.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::core {
+
+namespace {
+
+DetectorVerdict verdict_shell(const PeriodDetector& detector) {
+  DetectorVerdict v;
+  v.name = std::string(detector.name());
+  v.capabilities = detector.capabilities();
+  return v;
+}
+
+void set_period(DetectorVerdict& v, double period) {
+  if (period <= 0.0) return;
+  v.found = true;
+  v.period = period;
+  v.frequency = 1.0 / period;
+}
+
+// ---------------------------------------------------------------------------
+// dft: the paper's Sec. II-B outlier stage, unchanged — the registry's
+// default primary.
+// ---------------------------------------------------------------------------
+
+class DftDetector final : public PeriodDetector {
+ public:
+  std::string_view name() const override { return detector_names::kDft; }
+  unsigned capabilities() const override {
+    return kCapNeedsRegularSampling | kCapNeedsSpectrum;
+  }
+  DetectorVerdict detect(const DetectorInput& input) const override {
+    DetectorVerdict v = verdict_shell(*this);
+    const CandidateOptions& copts = input.options->candidates;
+    DftAnalysis analysis =
+        input.spectrum != nullptr
+            ? analyze_spectrum(*input.spectrum, copts)
+            : analyze_spectrum(ftio::signal::compute_spectrum(
+                                   input.samples, input.sampling_frequency),
+                               copts);
+    if (analysis.dominant_frequency) {
+      set_period(v, analysis.period());
+    }
+    v.confidence = analysis.confidence;
+    for (const auto& c : analysis.candidates) {
+      if (!c.harmonic_suppressed && c.frequency > 0.0) {
+        v.candidate_periods.push_back(1.0 / c.frequency);
+      }
+    }
+    v.dft = std::move(analysis);
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// acf: the Sec. II-C refinement as a corroborate-only detector — it
+// scores and refines a primary period but never claims periodicity on
+// its own, exactly the role it has in the paper.
+// ---------------------------------------------------------------------------
+
+class AcfDetector final : public PeriodDetector {
+ public:
+  std::string_view name() const override { return detector_names::kAcf; }
+  unsigned capabilities() const override {
+    return kCapNeedsRegularSampling | kCapNeedsAcf | kCapCorroborateOnly;
+  }
+  DetectorVerdict detect(const DetectorInput& input) const override {
+    DetectorVerdict v = verdict_shell(*this);
+    const AcfOptions& aopts = input.options->acf;
+    AcfAnalysis analysis =
+        input.acf != nullptr
+            ? analyze_autocorrelation_prepared(*input.acf,
+                                               input.sampling_frequency, aopts)
+            : analyze_autocorrelation(input.samples, input.sampling_frequency,
+                                      aopts);
+    if (analysis.found()) {
+      set_period(v, analysis.period);
+    }
+    v.confidence = analysis.confidence;
+    v.candidate_periods = analysis.candidate_periods;
+    v.acf = std::move(analysis);
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lomb-scargle: periodogram over the raw bandwidth-curve knots (segment
+// midpoints) — the irregular-sampling path that skips discretisation and
+// its abstraction error entirely. Candidates come from the same Eq. (3)
+// outlier rule, run on a pseudo-spectrum built over the LS grid.
+// ---------------------------------------------------------------------------
+
+class LombScargleDetector final : public PeriodDetector {
+ public:
+  std::string_view name() const override {
+    return detector_names::kLombScargle;
+  }
+  unsigned capabilities() const override { return kCapHandlesIrregular; }
+  DetectorVerdict detect(const DetectorInput& input) const override {
+    DetectorVerdict v = verdict_shell(*this);
+    const LombScargleOptions& opts = input.options->detectors.lomb_scargle;
+    const double fs = input.sampling_frequency;
+    const double n_samples = static_cast<double>(input.samples.size());
+    if (fs <= 0.0 || input.samples.empty()) return v;
+    const double duration = n_samples / fs;
+
+    // Observation points: raw curve knots inside the analysis window
+    // when a source curve is attached, the regular grid otherwise.
+    std::vector<double> times;
+    std::vector<double> values;
+    bool from_curve = false;
+    if (opts.prefer_source_curve && input.source_curve != nullptr &&
+        !input.source_curve->empty()) {
+      collect_knots(*input.source_curve, input.origin,
+                    input.origin + duration, times, values);
+      from_curve = times.size() >= 4;
+    }
+    if (!from_curve) {
+      times.resize(input.samples.size());
+      values.assign(input.samples.begin(), input.samples.end());
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        times[i] = static_cast<double>(i) / fs;
+      }
+    }
+    if (times.size() < 4) return v;
+    decimate_observations(opts.max_points, times, values);
+
+    // Frequency grid at the window's natural resolution 1/duration
+    // (refined by `oversampling`), up to the explicit cap or the
+    // pseudo-Nyquist of the observation density — which on the
+    // undecimated fallback grid is exactly fs/2, so the Fourier bins
+    // are reproduced there.
+    const double over = std::max(opts.oversampling, 1.0);
+    const double df = 1.0 / (duration * over);
+    double f_max = opts.max_frequency;
+    if (f_max <= 0.0) {
+      f_max = static_cast<double>(times.size()) / (2.0 * duration);
+    }
+    const auto bins = static_cast<std::size_t>(f_max / df + 1e-9);
+    const std::size_t k_max = std::min(bins, opts.max_frequencies);
+    if (k_max < 1) return v;
+    std::vector<double> frequencies(k_max);
+    for (std::size_t k = 0; k < k_max; ++k) {
+      frequencies[k] = static_cast<double>(k + 1) * df;
+    }
+    const std::vector<double> power =
+        ftio::signal::lomb_scargle_power(times, values, frequencies);
+
+    // Pseudo-spectrum over the LS grid: frequency_step() must equal df
+    // and bin k must mean "k cycles in the window" for the candidate
+    // rule's min_cycles to keep its meaning (rescaled under
+    // oversampling). Amplitudes/phases are not read by analyze_spectrum.
+    ftio::signal::Spectrum pseudo;
+    pseudo.total_samples = 2 * k_max;
+    pseudo.sampling_frequency = static_cast<double>(2 * k_max) * df;
+    pseudo.frequencies.resize(k_max + 1);
+    pseudo.power.resize(k_max + 1);
+    pseudo.amplitudes.assign(k_max + 1, 0.0);
+    pseudo.phases.assign(k_max + 1, 0.0);
+    pseudo.frequencies[0] = 0.0;
+    pseudo.power[0] = 0.0;
+    double total_power = 0.0;
+    for (std::size_t k = 0; k < k_max; ++k) {
+      pseudo.frequencies[k + 1] = frequencies[k];
+      pseudo.power[k + 1] = power[k];
+      total_power += power[k];
+    }
+    pseudo.normed_power.resize(k_max + 1);
+    for (std::size_t k = 0; k <= k_max; ++k) {
+      pseudo.normed_power[k] =
+          total_power > 0.0 ? pseudo.power[k] / total_power : 0.0;
+    }
+
+    CandidateOptions copts = input.options->candidates;
+    copts.min_cycles = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(copts.min_cycles) * over));
+    DftAnalysis analysis = analyze_spectrum(pseudo, copts);
+    if (analysis.dominant_frequency) {
+      set_period(v, analysis.period());
+    }
+    v.confidence = analysis.confidence;
+    for (const auto& c : analysis.candidates) {
+      if (!c.harmonic_suppressed && c.frequency > 0.0) {
+        v.candidate_periods.push_back(1.0 / c.frequency);
+      }
+    }
+    return v;
+  }
+
+ private:
+  /// Caps the observation count: averages runs of consecutive points
+  /// into one, so the O(points * frequencies) evaluation stays bounded
+  /// on dense curves (a 3072-rank trace has one knot per request edge).
+  static void decimate_observations(std::size_t max_points,
+                                    std::vector<double>& times,
+                                    std::vector<double>& values) {
+    const std::size_t n = times.size();
+    if (max_points < 4 || n <= max_points) return;
+    std::vector<double> merged_times;
+    std::vector<double> merged_values;
+    merged_times.reserve(max_points);
+    merged_values.reserve(max_points);
+    std::size_t start = 0;
+    for (std::size_t g = 0; g < max_points; ++g) {
+      const std::size_t end = ((g + 1) * n) / max_points;
+      double t = 0.0;
+      double v = 0.0;
+      for (std::size_t i = start; i < end; ++i) {
+        t += times[i];
+        v += values[i];
+      }
+      const double count = static_cast<double>(end - start);
+      merged_times.push_back(t / count);
+      merged_values.push_back(v / count);
+      start = end;
+    }
+    times = std::move(merged_times);
+    values = std::move(merged_values);
+  }
+
+  /// Segment midpoints of `curve` clipped to [t0, t1] — one observation
+  /// per piecewise-constant segment, zero-bandwidth gaps included (the
+  /// silence between bursts carries the period as much as the bursts).
+  static void collect_knots(const ftio::signal::StepFunction& curve,
+                            double t0, double t1, std::vector<double>& times,
+                            std::vector<double>& values) {
+    const auto ts = curve.times();
+    const auto vs = curve.values();
+    times.reserve(vs.size());
+    values.reserve(vs.size());
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      const double a = std::max(ts[i], t0);
+      const double b = std::min(ts[i + 1], t1);
+      if (b <= a) continue;
+      times.push_back(0.5 * (a + b));
+      values.push_back(vs[i]);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// autoperiod (Vlachos et al.): spectral hints validated on the ACF — a
+// hint at bin k must land on an ACF hill strictly inside the lag range
+// (N/(k+1), N/(k-1)), which rejects spectral-leakage hints that have no
+// time-domain repetition behind them. cfd-autoperiod runs the same
+// validation on the linearly detrended signal and clusters adjacent-bin
+// hints first, making it robust on trending traces.
+// ---------------------------------------------------------------------------
+
+struct ValidatedHint {
+  double period = 0.0;  ///< seconds, parabola-refined ACF lag / fs
+  double height = 0.0;  ///< refined ACF value at the hill
+};
+
+std::vector<ValidatedHint> validate_spectrum_hints(
+    std::span<const double> power, std::span<const double> acf, double fs,
+    std::size_t min_cycles, const AutoperiodOptions& opts,
+    bool cluster_hints) {
+  std::vector<ValidatedHint> validated;
+  if (power.size() < 2 || acf.size() < 3 || fs <= 0.0) return validated;
+
+  // Hints: Eq. (2) z-scores over the non-DC powers, thresholded.
+  const std::vector<double> z = ftio::util::z_scores(power.subspan(1));
+  struct Hint {
+    std::size_t bin = 0;
+    double power = 0.0;
+  };
+  std::vector<Hint> hints;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const std::size_t bin = i + 1;
+    if (bin < std::max<std::size_t>(min_cycles, 2)) continue;
+    if (z[i] >= opts.hint_zscore) hints.push_back({bin, power[bin]});
+  }
+  if (hints.empty()) return validated;
+  if (cluster_hints) {
+    // Adjacent-bin runs are one leakage-smeared peak: keep the
+    // strongest bin of each run.
+    std::vector<Hint> clustered;
+    for (const Hint& h : hints) {
+      if (!clustered.empty() && h.bin == clustered.back().bin + 1) {
+        if (h.power > clustered.back().power) clustered.back() = h;
+      } else {
+        clustered.push_back(h);
+      }
+    }
+    hints = std::move(clustered);
+  }
+  std::stable_sort(hints.begin(), hints.end(),
+                   [](const Hint& a, const Hint& b) {
+                     return a.power > b.power;
+                   });
+  if (hints.size() > opts.max_hints) hints.resize(opts.max_hints);
+
+  const double n = static_cast<double>(acf.size());
+  for (const Hint& h : hints) {
+    const auto k = static_cast<double>(h.bin);
+    const double lo = n / (k + 1.0);
+    const double hi = h.bin > 1 ? n / (k - 1.0) : n;
+    auto lag_lo = static_cast<std::size_t>(lo) + 1;
+    auto lag_hi = static_cast<std::size_t>(std::ceil(hi)) - 1;
+    lag_lo = std::max<std::size_t>(lag_lo, 1);
+    lag_hi = std::min(lag_hi, acf.size() - 2);
+    if (lag_lo > lag_hi) continue;
+    std::size_t best = lag_lo;
+    for (std::size_t l = lag_lo + 1; l <= lag_hi; ++l) {
+      if (acf[l] > acf[best]) best = l;
+    }
+    // Hill criterion: a strict local maximum. The argmax of a monotone
+    // slope sits at a range edge and fails this, which is exactly the
+    // leakage case autoperiod exists to reject.
+    if (!(acf[best] > acf[best - 1] && acf[best] >= acf[best + 1])) continue;
+    if (acf[best] < opts.min_acf_height) continue;
+    // Quadratic peak interpolation, as the DFT stage does for bins.
+    const double y0 = acf[best - 1];
+    const double y1 = acf[best];
+    const double y2 = acf[best + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    double delta = 0.0;
+    if (denom < 0.0) {
+      delta = std::clamp(0.5 * (y0 - y2) / denom, -0.5, 0.5);
+    }
+    const double lag = static_cast<double>(best) + delta;
+    const double height = y1 - 0.25 * (y0 - y2) * delta;
+    validated.push_back({lag / fs, height});
+  }
+  return validated;
+}
+
+DetectorVerdict autoperiod_verdict(DetectorVerdict v,
+                                   std::vector<ValidatedHint> hints) {
+  if (hints.empty()) return v;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < hints.size(); ++i) {
+    if (hints[i].height > hints[best].height) best = i;
+  }
+  set_period(v, hints[best].period);
+  v.confidence = std::clamp(hints[best].height, 0.0, 1.0);
+  v.candidate_periods.reserve(hints.size());
+  for (const auto& h : hints) v.candidate_periods.push_back(h.period);
+  return v;
+}
+
+class AutoperiodDetector final : public PeriodDetector {
+ public:
+  std::string_view name() const override {
+    return detector_names::kAutoperiod;
+  }
+  unsigned capabilities() const override {
+    return kCapNeedsRegularSampling | kCapNeedsSpectrum | kCapNeedsAcf;
+  }
+  DetectorVerdict detect(const DetectorInput& input) const override {
+    DetectorVerdict v = verdict_shell(*this);
+    if (input.samples.size() < 3) return v;
+    const AutoperiodOptions& opts = input.options->detectors.autoperiod;
+    ftio::signal::Spectrum local_spectrum;
+    const ftio::signal::Spectrum* spectrum = input.spectrum;
+    if (spectrum == nullptr) {
+      local_spectrum = ftio::signal::compute_spectrum(
+          input.samples, input.sampling_frequency);
+      spectrum = &local_spectrum;
+    }
+    std::vector<double> local_acf;
+    const std::vector<double>* acf = input.acf;
+    if (acf == nullptr) {
+      local_acf = ftio::signal::autocorrelation(input.samples);
+      acf = &local_acf;
+    }
+    return autoperiod_verdict(
+        std::move(v),
+        validate_spectrum_hints(spectrum->power, *acf,
+                                input.sampling_frequency,
+                                input.options->candidates.min_cycles, opts,
+                                /*cluster_hints=*/false));
+  }
+};
+
+class CfdAutoperiodDetector final : public PeriodDetector {
+ public:
+  std::string_view name() const override {
+    return detector_names::kCfdAutoperiod;
+  }
+  unsigned capabilities() const override {
+    return kCapNeedsRegularSampling | kCapHandlesTrend;
+  }
+  DetectorVerdict detect(const DetectorInput& input) const override {
+    DetectorVerdict v = verdict_shell(*this);
+    if (input.samples.size() < 3) return v;
+    const AutoperiodOptions& opts = input.options->detectors.autoperiod;
+    std::vector<double> local_detrended;
+    std::span<const double> detrended = input.detrended_samples;
+    if (detrended.size() != input.samples.size()) {
+      local_detrended = ftio::util::detrend(input.samples);
+      detrended = local_detrended;
+    }
+    ftio::signal::Spectrum local_spectrum;
+    const ftio::signal::Spectrum* spectrum = input.detrended_spectrum;
+    if (spectrum == nullptr) {
+      local_spectrum = ftio::signal::compute_spectrum(
+          detrended, input.sampling_frequency);
+      spectrum = &local_spectrum;
+    }
+    std::vector<double> local_acf;
+    const std::vector<double>* acf = input.detrended_acf;
+    if (acf == nullptr) {
+      local_acf = ftio::signal::autocorrelation(detrended);
+      acf = &local_acf;
+    }
+    return autoperiod_verdict(
+        std::move(v),
+        validate_spectrum_hints(spectrum->power, *acf,
+                                input.sampling_frequency,
+                                input.options->candidates.min_cycles, opts,
+                                /*cluster_hints=*/true));
+  }
+};
+
+}  // namespace
+
+DetectorRegistry& DetectorRegistry::global() {
+  static DetectorRegistry* registry = [] {
+    auto* r = new DetectorRegistry();
+    r->add(std::make_unique<DftDetector>());
+    r->add(std::make_unique<AcfDetector>());
+    r->add(std::make_unique<LombScargleDetector>());
+    r->add(std::make_unique<AutoperiodDetector>());
+    r->add(std::make_unique<CfdAutoperiodDetector>());
+    return r;
+  }();
+  return *registry;
+}
+
+void DetectorRegistry::add(std::unique_ptr<PeriodDetector> detector) {
+  ftio::util::expect(detector != nullptr, "DetectorRegistry: null detector");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& existing : detectors_) {
+    if (existing->name() == detector->name()) {
+      existing = std::move(detector);
+      return;
+    }
+  }
+  detectors_.push_back(std::move(detector));
+}
+
+const PeriodDetector* DetectorRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& d : detectors_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DetectorRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(detectors_.size());
+  for (const auto& d : detectors_) out.emplace_back(d->name());
+  return out;
+}
+
+std::vector<DetectorSelection> resolve_detector_selections(
+    const DetectorSetOptions& set, bool with_autocorrelation) {
+  const std::span<const DetectorSelection> effective =
+      effective_selections(set, with_autocorrelation);
+  return {effective.begin(), effective.end()};
+}
+
+std::span<const DetectorSelection> effective_selections(
+    const DetectorSetOptions& set, bool with_autocorrelation) {
+  if (!set.detectors.empty()) return set.detectors;
+  static const std::vector<DetectorSelection> kSeedDefault = {
+      {std::string(detector_names::kDft), 1.0},
+      {std::string(detector_names::kAcf), 1.0}};
+  return with_autocorrelation
+             ? std::span<const DetectorSelection>(kSeedDefault)
+             : std::span<const DetectorSelection>(kSeedDefault.data(), 1);
+}
+
+bool selections_include(std::span<const DetectorSelection> selections,
+                        std::string_view name) {
+  for (const auto& s : selections) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+double corroborated_confidence(std::span<const DetectorVerdict> verdicts) {
+  if (verdicts.empty()) return 0.0;
+  const DetectorVerdict& primary = verdicts.front();
+  if (!primary.found) return primary.confidence;
+  // Association order matters for the bit-identity promise: with the
+  // default {dft, acf} at weight 1 the sums below evaluate as
+  // ((c_d + c_a) + c_s) / 3 — the seed merged_confidence expression.
+  double sum = primary.weight * primary.confidence;
+  double denom = primary.weight;
+  for (std::size_t i = 1; i < verdicts.size(); ++i) {
+    const DetectorVerdict& v = verdicts[i];
+    if (!v.found) continue;
+    sum += v.weight * v.confidence;
+    sum += v.weight * period_similarity(v.candidate_periods, primary.period);
+    denom += 2.0 * v.weight;
+  }
+  return sum / denom;
+}
+
+FusedPrediction fuse_verdicts(std::span<const DetectorVerdict> verdicts,
+                              const FusionOptions& options) {
+  FusedPrediction out;
+  double total_weight = 0.0;
+  double found_weight = 0.0;
+  for (const auto& v : verdicts) {
+    total_weight += v.weight;
+    if (v.found && v.period > 0.0) found_weight += v.weight;
+  }
+  const double log_tol = std::log1p(std::max(options.period_tolerance, 0.0));
+
+  // Every voting verdict seeds a candidate cluster; the cluster with the
+  // largest weight*confidence mass wins and its seed names the period.
+  double best_mass = -1.0;
+  double best_support = 0.0;
+  std::size_t best_count = 0;
+  const DetectorVerdict* best_seed = nullptr;
+  for (const auto& seed : verdicts) {
+    if (!seed.found || seed.period <= 0.0 || seed.weight <= 0.0) continue;
+    if ((seed.capabilities & kCapCorroborateOnly) != 0) continue;
+    double mass = 0.0;
+    double support = 0.0;
+    std::size_t count = 0;
+    for (const auto& v : verdicts) {
+      if (!v.found || v.period <= 0.0) continue;
+      if (std::abs(std::log(v.period / seed.period)) > log_tol) continue;
+      mass += v.weight * v.confidence;
+      support += v.weight;
+      ++count;
+    }
+    if (mass > best_mass) {
+      best_mass = mass;
+      best_support = support;
+      best_count = count;
+      best_seed = &seed;
+    }
+  }
+  if (best_seed == nullptr) return out;
+  out.frequency = best_seed->frequency > 0.0 ? best_seed->frequency
+                                             : 1.0 / best_seed->period;
+  out.period = best_seed->period;
+  out.confidence =
+      total_weight > 0.0 ? std::clamp(best_mass / total_weight, 0.0, 1.0)
+                         : 0.0;
+  out.agreement = found_weight > 0.0
+                      ? std::clamp(best_support / found_weight, 0.0, 1.0)
+                      : 0.0;
+  out.supporting = best_count;
+  return out;
+}
+
+}  // namespace ftio::core

@@ -8,20 +8,21 @@
 namespace ftio::core {
 
 FtioResult analyze_samples(std::span<const double> samples,
-                           const FtioOptions& options, double origin) {
+                           const FtioOptions& options, double origin,
+                           const AnalysisArtifacts& artifacts) {
   ftio::util::expect(!samples.empty(), "analyze_samples: empty signal");
   ftio::util::expect(options.sampling_frequency > 0.0,
                      "analyze_samples: fs must be positive");
   return analyze_samples_prepared(
       samples, options, origin,
       ftio::signal::compute_spectrum(samples, options.sampling_frequency),
-      /*acf=*/nullptr);
+      artifacts);
 }
 
 FtioResult analyze_samples_prepared(std::span<const double> samples,
                                     const FtioOptions& options, double origin,
                                     ftio::signal::Spectrum spectrum,
-                                    const std::vector<double>* acf) {
+                                    const AnalysisArtifacts& artifacts) {
   ftio::util::expect(!samples.empty(),
                      "analyze_samples_prepared: empty signal");
   ftio::util::expect(options.sampling_frequency > 0.0,
@@ -34,23 +35,46 @@ FtioResult analyze_samples_prepared(std::span<const double> samples,
       origin + static_cast<double>(samples.size()) / options.sampling_frequency;
   result.sample_count = samples.size();
 
-  result.dft = analyze_spectrum(spectrum, options.candidates);
+  // Registry pipeline: run the selected detectors over the shared
+  // artefacts, in selection order (the first is the fusion primary).
+  // With the default selection this executes exactly the seed pipeline —
+  // analyze_spectrum, then the ACF refinement and (c_d + c_a + c_s)/3.
+  const std::span<const DetectorSelection> selections =
+      effective_selections(options.detectors, options.with_autocorrelation);
+  DetectorInput input;
+  input.samples = samples;
+  input.sampling_frequency = options.sampling_frequency;
+  input.origin = origin;
+  input.spectrum = &spectrum;
+  input.acf = artifacts.acf;
+  input.source_curve = artifacts.source_curve;
+  input.detrended_samples = artifacts.detrended_samples;
+  input.detrended_spectrum = artifacts.detrended_spectrum;
+  input.detrended_acf = artifacts.detrended_acf;
+  input.options = &options;
 
-  if (options.with_autocorrelation) {
-    result.acf =
-        acf != nullptr
-            ? analyze_autocorrelation_prepared(
-                  *acf, options.sampling_frequency, options.acf)
-            : analyze_autocorrelation(samples, options.sampling_frequency,
-                                      options.acf);
-    result.refined_confidence =
-        result.periodic()
-            ? merged_confidence(result.dft.confidence, *result.acf,
-                                result.period())
-            : result.dft.confidence;
-  } else {
-    result.refined_confidence = result.dft.confidence;
+  DetectorRegistry& registry = DetectorRegistry::global();
+  result.detector_verdicts.reserve(selections.size());
+  for (const DetectorSelection& selection : selections) {
+    const PeriodDetector* detector = registry.find(selection.name);
+    ftio::util::expect(detector != nullptr,
+                       "analyze_samples: unknown detector in selection");
+    DetectorVerdict verdict = detector->detect(input);
+    verdict.weight = selection.weight;
+    if (verdict.dft) {
+      result.dft = std::move(*verdict.dft);
+      verdict.dft.reset();
+    }
+    if (verdict.acf) {
+      result.acf = std::move(*verdict.acf);
+      verdict.acf.reset();
+    }
+    result.detector_verdicts.push_back(std::move(verdict));
   }
+  result.refined_confidence =
+      corroborated_confidence(result.detector_verdicts);
+  result.fused =
+      fuse_verdicts(result.detector_verdicts, options.detectors.fusion);
 
   if (options.keep_spectrum) result.spectrum = std::move(spectrum);
   return result;
@@ -125,7 +149,10 @@ FtioResult analyze_bandwidth(const ftio::signal::StepFunction& bandwidth,
   const AnalysisWindow window = select_analysis_window(bandwidth, options);
   std::vector<double> samples;
   discretize_window(bandwidth, window, options, 0, samples);
-  FtioResult result = analyze_samples(samples, options, window.start);
+  AnalysisArtifacts artifacts;
+  artifacts.source_curve = &bandwidth;
+  FtioResult result =
+      analyze_samples(samples, options, window.start, artifacts);
   finish_bandwidth_result(bandwidth, window, samples, options, result);
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "core/acf_analysis.hpp"
 #include "core/candidates.hpp"
+#include "core/detectors.hpp"
 #include "core/metrics.hpp"
 #include "signal/spectrum.hpp"
 #include "signal/step_function.hpp"
@@ -43,16 +44,31 @@ struct FtioOptions {
   /// Discretisation mode (point sampling matches the paper's definition).
   ftio::signal::SamplingMode sampling_mode =
       ftio::signal::SamplingMode::kPointSample;
+  /// Which period detectors run and how their verdicts fuse. The default
+  /// (empty selection) is the paper pipeline — dft plus acf when
+  /// with_autocorrelation is set — bit-identical to the pre-registry
+  /// code; an explicit selection overrides it (see DetectorSetOptions).
+  DetectorSetOptions detectors;
 };
 
 /// Complete result of one FTIO evaluation.
 struct FtioResult {
   /// DFT stage (Sec. II-B): verdict, dominant frequency, candidates, c_d.
   DftAnalysis dft;
-  /// Autocorrelation refinement (Sec. II-C), empty when disabled.
+  /// Autocorrelation refinement (Sec. II-C), empty when the acf detector
+  /// did not run.
   std::optional<AcfAnalysis> acf;
-  /// (c_d + c_a + c_s)/3 when the ACF found a period, else c_d.
+  /// Primary-anchored confidence merge over every detector that ran:
+  /// (c_d + c_a + c_s)/3 with the default selection when the ACF found a
+  /// period, c_d alone otherwise (see corroborated_confidence).
   double refined_confidence = 0.0;
+  /// Per-detector verdicts, in selection order (the first entry is the
+  /// fusion primary; stage payloads are moved into `dft`/`acf` above).
+  std::vector<DetectorVerdict> detector_verdicts;
+  /// Weighted vote over the verdicts — the surface where non-default
+  /// detectors (Lomb–Scargle, CFD-autoperiod, the streaming triage
+  /// vote) can report a period the primary DFT stage missed.
+  FusedPrediction fused;
   /// Characterization metrics, present when a period was found and
   /// with_metrics was set.
   std::optional<PeriodicityMetrics> metrics;
@@ -70,26 +86,49 @@ struct FtioResult {
   bool periodic() const { return dft.dominant_frequency.has_value(); }
   double frequency() const { return dft.dominant_frequency.value_or(0.0); }
   double period() const { return dft.period(); }
-  double confidence() const { return dft.confidence; }
+  /// The analysis confidence: refined_confidence, which equals the bare
+  /// c_d whenever no secondary detector corroborated. (The pre-registry
+  /// accessor reported the unrefined c_d even when the ACF pass ran,
+  /// diverging from what merge_predictions consumed; callers that want
+  /// the pure DFT figure read dft.confidence.)
+  double confidence() const { return refined_confidence; }
+};
+
+/// Precomputed artefacts and auxiliary sources for one analysis. All
+/// fields are optional: a detector that needs a missing artefact computes
+/// it from the samples. Pointed-to objects must outlive the call. The
+/// batched engine fills these from its grouped stage-major transforms so
+/// registry analyses still ride the planar FftPlan path.
+struct AnalysisArtifacts {
+  /// signal::autocorrelation(samples); read by the acf/autoperiod
+  /// detectors.
+  const std::vector<double>* acf = nullptr;
+  /// The continuous bandwidth curve the samples were discretised from;
+  /// Lomb–Scargle consumes its raw knots instead of the grid.
+  const ftio::signal::StepFunction* source_curve = nullptr;
+  /// util::detrend(samples) and its spectrum/ACF (cfd-autoperiod).
+  std::span<const double> detrended_samples;
+  const ftio::signal::Spectrum* detrended_spectrum = nullptr;
+  const std::vector<double>* detrended_acf = nullptr;
 };
 
 /// Analyses an already-discretised signal (samples at fs Hz).
 /// `origin` is the absolute time of samples[0] (used only for reporting).
 FtioResult analyze_samples(std::span<const double> samples,
-                           const FtioOptions& options, double origin = 0.0);
+                           const FtioOptions& options, double origin = 0.0,
+                           const AnalysisArtifacts& artifacts = {});
 
 /// analyze_samples with the transform stages supplied by the caller: the
 /// batched engine groups same-length sample windows, runs their spectra
 /// (and, when enabled, their raw ACFs) through the signal layer's batched
 /// plan execution, and hands each window's artefacts here for the
 /// remaining pipeline. `spectrum` must be compute_spectrum(samples, fs);
-/// `acf`, when non-null, must be signal::autocorrelation(samples) (it is
-/// only read if options.with_autocorrelation is set — pass nullptr to
-/// compute it here). Results are identical to analyze_samples.
+/// artefacts follow the AnalysisArtifacts contract. Results are
+/// identical to analyze_samples.
 FtioResult analyze_samples_prepared(std::span<const double> samples,
                                     const FtioOptions& options, double origin,
                                     ftio::signal::Spectrum spectrum,
-                                    const std::vector<double>* acf);
+                                    const AnalysisArtifacts& artifacts = {});
 
 // ---------------------------------------------------------------------------
 // Bandwidth-analysis building blocks. analyze_bandwidth is exactly the

@@ -81,7 +81,9 @@ Prediction prediction_from_result(const FtioResult& result, double now) {
   Prediction p;
   p.at_time = now;
   p.frequency = result.dft.dominant_frequency;
-  p.confidence = result.confidence();
+  // Prediction::confidence is the pre-refinement c_d by contract;
+  // refined_confidence sits next to it.
+  p.confidence = result.dft.confidence;
   p.refined_confidence = result.refined_confidence;
   p.window_start = result.window_start;
   p.window_end = result.window_end;

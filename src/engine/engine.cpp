@@ -2,42 +2,63 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
+#include "core/detectors.hpp"
 #include "signal/autocorrelation.hpp"
 #include "signal/fft.hpp"
 #include "signal/plan.hpp"
 #include "signal/spectrum.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 
 namespace ftio::engine {
 
 namespace {
 
-/// Pre-builds the plans a sample view will need: the real-input tables
-/// for the rfft at size N (what compute_spectrum actually runs) and the
-/// complex plan for the ACF convolution size next_pow2(2N). Bandwidth/
-/// trace views discretise inside the pipeline, so their N is not known
-/// here; their first worker populates the cache instead.
-void warm_plans_for(std::span<const TraceView> views,
-                    const ftio::core::FtioOptions& options) {
+/// Per-view working state of one analyze_many batch: the resolved source
+/// curve (owned when built from a trace view), the selected analysis
+/// window, and the discretised samples every later pass works from.
+struct ViewWork {
+  const ftio::signal::StepFunction* curve = nullptr;
+  ftio::signal::StepFunction owned_curve;
+  ftio::core::AnalysisWindow window;
+  std::vector<double> buffer;
+  std::span<const double> samples;
+  double origin = 0.0;
+  bool curve_backed = false;
+};
+
+/// Pre-builds the plans the batch will need: the real-input tables for
+/// the rfft at each window length (what compute_spectrum actually runs)
+/// and the complex plan for the ACF convolution size next_pow2(2N).
+void warm_plan(std::size_t n, bool with_acf) {
+  ftio::signal::get_plan(n)->prepare(/*for_real_input=*/true);
+  if (with_acf) {
+    // The ACF runs the packed real path at the power-of-two convolution
+    // size, so its half-size sub-plan and unpack twiddles are the lazy
+    // state to pre-build.
+    ftio::signal::get_plan(ftio::signal::next_power_of_two(2 * n))
+        ->prepare(/*for_real_input=*/true);
+  }
+}
+
+void warm_plans_for(std::span<const ViewWork> work, bool with_acf) {
+  if (work.size() == 1) {
+    if (!work.front().samples.empty()) {
+      warm_plan(work.front().samples.size(), with_acf);
+    }
+    return;
+  }
   std::vector<std::size_t> sizes;
-  sizes.reserve(views.size());
-  for (const auto& v : views) {
-    if (!v.samples.empty()) sizes.push_back(v.samples.size());
+  sizes.reserve(work.size());
+  for (const auto& w : work) {
+    if (!w.samples.empty()) sizes.push_back(w.samples.size());
   }
   std::sort(sizes.begin(), sizes.end());
   sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
-  for (std::size_t n : sizes) {
-    ftio::signal::get_plan(n)->prepare(/*for_real_input=*/true);
-    if (options.with_autocorrelation) {
-      // The ACF runs the packed real path at the power-of-two
-      // convolution size, so its half-size sub-plan and unpack twiddles
-      // are the lazy state to pre-build.
-      ftio::signal::get_plan(ftio::signal::next_power_of_two(2 * n))
-          ->prepare(/*for_real_input=*/true);
-    }
-  }
+  for (std::size_t n : sizes) warm_plan(n, with_acf);
 }
 
 }  // namespace
@@ -52,63 +73,161 @@ std::vector<ftio::core::FtioResult> analyze_many(
       ftio::signal::plan_cache().capacity() < engine.plan_cache_capacity) {
     ftio::signal::plan_cache().set_capacity(engine.plan_cache_capacity);
   }
-  if (engine.warm_plans) warm_plans_for(views, options);
 
-  // Batched transform stage: sample views of equal length (the window-
-  // strategy ensemble fan-out and fixed-grid sweeps produce many) run
-  // their spectra — and, when enabled, their raw ACFs — through the
-  // signal layer's stage-major batched plan execution, parallel over
-  // cache-resident batch tiles rather than whole signals. The per-view
-  // fan-out below then finishes the pipeline from the precomputed
-  // artefacts. Batched rows are bit-identical to per-signal transforms,
-  // so results stay identical to looped analyze_samples calls.
-  std::map<std::size_t, std::vector<std::size_t>> sample_groups;
-  for (std::size_t i = 0; i < views.size(); ++i) {
-    const TraceView& v = views[i];
-    if (v.trace == nullptr && v.bandwidth == nullptr && !v.samples.empty()) {
-      sample_groups[v.samples.size()].push_back(i);
+  // Pass 1 — windowing: trace views build their bandwidth curve (the
+  // exact detect() preamble), and every curve-backed view selects and
+  // discretises its analysis window. All window lengths are therefore
+  // known before the transform stage groups them, so equal-length
+  // windows batch regardless of which view kind they came from (the
+  // seed engine only discovered sample-view lengths up front).
+  std::vector<ViewWork> work(views.size());
+  ftio::util::parallel_for(
+      views.size(),
+      [&](std::size_t i) {
+        ViewWork& w = work[i];
+        const TraceView& v = views[i];
+        if (v.trace != nullptr) {
+          ftio::trace::BandwidthOptions bw;
+          bw.kind = options.kind;
+          // Window clipping happens below so that the noise threshold
+          // and metrics see the same curve the spectrum saw.
+          w.owned_curve = ftio::trace::bandwidth_signal(*v.trace, bw);
+          ftio::util::expect(!w.owned_curve.empty(),
+                             "detect: trace has no I/O requests");
+          w.curve = &w.owned_curve;
+        } else if (v.bandwidth != nullptr) {
+          w.curve = v.bandwidth;
+        } else {
+          ftio::util::expect(!v.samples.empty(),
+                             "analyze_many: view without a source");
+          w.samples = v.samples;
+          w.origin = v.origin;
+          w.curve = v.source_curve;
+          return;
+        }
+        w.curve_backed = true;
+        w.window = ftio::core::select_analysis_window(*w.curve, options);
+        ftio::core::discretize_window(*w.curve, w.window, options, 0,
+                                      w.buffer);
+        w.samples = w.buffer;
+        w.origin = w.window.start;
+      },
+      engine.threads);
+
+  // Which artefacts the selected detectors will read: the raw ACF feeds
+  // the acf and autoperiod detectors, the detrended trio feeds
+  // cfd-autoperiod. Batching them here keeps every registry analysis on
+  // the planar FftPlan path.
+  const std::span<const ftio::core::DetectorSelection> selections =
+      ftio::core::effective_selections(options.detectors,
+                                       options.with_autocorrelation);
+  const bool want_acf =
+      ftio::core::selections_include(selections,
+                                     ftio::core::detector_names::kAcf) ||
+      ftio::core::selections_include(selections,
+                                     ftio::core::detector_names::kAutoperiod);
+  const bool want_detrended = ftio::core::selections_include(
+      selections, ftio::core::detector_names::kCfdAutoperiod);
+
+  if (engine.warm_plans) warm_plans_for(work, want_acf);
+
+  // Pass 2 — grouped transforms: windows of equal length run their
+  // spectra (and raw/detrended ACF artefacts) through the signal
+  // layer's stage-major batched plan execution, parallel over
+  // cache-resident batch tiles rather than whole signals. Batched rows
+  // are bit-identical to per-signal transforms, so results stay
+  // identical to looped analyze_samples calls.
+  // Single-view batches (the streaming session's per-flush call) have
+  // nothing to group, so the map and the artefact stores stay unbuilt —
+  // their allocations are pure fixed overhead at views.size() == 1.
+  std::vector<ftio::signal::Spectrum> spectra;
+  std::vector<std::vector<double>> acfs;
+  std::vector<std::vector<double>> detrended;
+  std::vector<ftio::signal::Spectrum> detrended_spectra;
+  std::vector<std::vector<double>> detrended_acfs;
+  std::vector<char> prepared;
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  if (views.size() >= 2) {
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      groups[work[i].samples.size()].push_back(i);
     }
   }
-  std::vector<ftio::signal::Spectrum> spectra(views.size());
-  std::vector<std::vector<double>> acfs(views.size());
-  std::vector<char> prepared(views.size(), 0);
-  for (const auto& [n, idx] : sample_groups) {
+  for (const auto& [n, idx] : groups) {
     if (idx.size() < 2) continue;
+    if (prepared.empty()) {
+      spectra.resize(views.size());
+      acfs.resize(views.size());
+      detrended.resize(views.size());
+      detrended_spectra.resize(views.size());
+      detrended_acfs.resize(views.size());
+      prepared.assign(views.size(), 0);
+    }
     std::vector<std::span<const double>> windows;
     windows.reserve(idx.size());
-    for (std::size_t i : idx) windows.push_back(views[i].samples);
+    for (std::size_t i : idx) windows.push_back(work[i].samples);
     auto group_spectra = ftio::signal::compute_spectra(
         windows, options.sampling_frequency, engine.threads);
     for (std::size_t j = 0; j < idx.size(); ++j) {
       spectra[idx[j]] = std::move(group_spectra[j]);
     }
-    if (options.with_autocorrelation && n >= 3) {
+    if (want_acf && n >= 3) {
       auto group_acfs =
           ftio::signal::autocorrelation_many(windows, engine.threads);
       for (std::size_t j = 0; j < idx.size(); ++j) {
         acfs[idx[j]] = std::move(group_acfs[j]);
       }
     }
+    if (want_detrended) {
+      std::vector<std::span<const double>> detrended_windows;
+      detrended_windows.reserve(idx.size());
+      for (std::size_t i : idx) {
+        detrended[i] = ftio::util::detrend(work[i].samples);
+        detrended_windows.push_back(detrended[i]);
+      }
+      auto group_detrended_spectra = ftio::signal::compute_spectra(
+          detrended_windows, options.sampling_frequency, engine.threads);
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        detrended_spectra[idx[j]] = std::move(group_detrended_spectra[j]);
+      }
+      if (n >= 3) {
+        auto group_detrended_acfs = ftio::signal::autocorrelation_many(
+            detrended_windows, engine.threads);
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          detrended_acfs[idx[j]] = std::move(group_detrended_acfs[j]);
+        }
+      }
+    }
     for (std::size_t i : idx) prepared[i] = 1;
   }
 
+  // Pass 3 — finish the pipeline per view over the precomputed
+  // artefacts, then the bandwidth-derived result fields for curve-backed
+  // views (the exact analyze_bandwidth / detect tail).
   ftio::util::parallel_for(
       views.size(),
       [&](std::size_t i) {
-        const TraceView& v = views[i];
-        if (v.trace != nullptr) {
-          results[i] = ftio::core::detect(*v.trace, options);
-        } else if (v.bandwidth != nullptr) {
-          results[i] = ftio::core::analyze_bandwidth(*v.bandwidth, options);
-        } else if (prepared[i]) {
+        ViewWork& w = work[i];
+        ftio::core::AnalysisArtifacts artifacts;
+        artifacts.source_curve = w.curve;
+        if (!prepared.empty() && prepared[i]) {
+          if (!acfs[i].empty()) artifacts.acf = &acfs[i];
+          if (!detrended[i].empty()) {
+            artifacts.detrended_samples = detrended[i];
+            artifacts.detrended_spectrum = &detrended_spectra[i];
+            if (!detrended_acfs[i].empty()) {
+              artifacts.detrended_acf = &detrended_acfs[i];
+            }
+          }
           results[i] = ftio::core::analyze_samples_prepared(
-              v.samples, options, v.origin, std::move(spectra[i]),
-              acfs[i].empty() ? nullptr : &acfs[i]);
+              w.samples, options, w.origin, std::move(spectra[i]),
+              artifacts);
         } else {
-          ftio::util::expect(!v.samples.empty(),
-                             "analyze_many: view without a source");
-          results[i] =
-              ftio::core::analyze_samples(v.samples, options, v.origin);
+          results[i] = ftio::core::analyze_samples(w.samples, options,
+                                                   w.origin, artifacts);
+        }
+        if (w.curve_backed) {
+          ftio::core::finish_bandwidth_result(*w.curve, w.window, w.samples,
+                                              options, results[i]);
         }
       },
       engine.threads);

@@ -20,6 +20,10 @@ struct TraceView {
   std::span<const double> samples;
   /// Absolute time of samples[0] (sample views only; reporting context).
   double origin = 0.0;
+  /// Optional, sample views only: the continuous curve the samples were
+  /// discretised from, forwarded to detectors that consume raw event
+  /// times (Lomb–Scargle). Trace/bandwidth views wire it automatically.
+  const ftio::signal::StepFunction* source_curve = nullptr;
 
   static TraceView of(const ftio::trace::Trace& t) {
     TraceView v;
@@ -31,10 +35,13 @@ struct TraceView {
     v.bandwidth = &bw;
     return v;
   }
-  static TraceView of_samples(std::span<const double> s, double origin = 0.0) {
+  static TraceView of_samples(std::span<const double> s, double origin = 0.0,
+                              const ftio::signal::StepFunction* source =
+                                  nullptr) {
     TraceView v;
     v.samples = s;
     v.origin = origin;
+    v.source_curve = source;
     return v;
   }
 };
@@ -47,18 +54,25 @@ struct EngineOptions {
   /// the batch runs (0 = leave the cache capacity unchanged). Useful when
   /// a sweep mixes many distinct window lengths.
   std::size_t plan_cache_capacity = 0;
-  /// Pre-build the FFT plans for sample views (and their 2N ACF sizes) on
-  /// the calling thread, so worker threads start with a warm cache and
-  /// never race on constructing the same plan.
+  /// Pre-build the FFT plans for every view's window length (and the 2N
+  /// ACF sizes) on the calling thread, so worker threads start with a
+  /// warm cache and never race on constructing the same plan. Trace and
+  /// bandwidth views discretise in a first batched pass, so their
+  /// lengths are known here too.
   bool warm_plans = true;
 };
 
 /// Runs the full FTIO pipeline on every view, fanned across worker
-/// threads with util::parallel_for. Each worker resolves its plan handles
-/// through the shared thread-safe cache and reuses per-thread scratch, so
-/// the batch does no redundant twiddle/chirp recomputation. Results are
-/// index-aligned with `views` and identical to calling analyze_samples /
-/// analyze_bandwidth / detect on each view in a loop.
+/// threads with util::parallel_for. The batch runs in three passes:
+/// (1) windowing — trace views build their bandwidth curve and every
+/// curve-backed view selects + discretises its analysis window, so all
+/// sample lengths are known up front; (2) grouped transforms — windows
+/// of equal length (from any view kind) run their spectra, ACFs, and,
+/// when the cfd-autoperiod detector is selected, their detrended
+/// artefacts through the signal layer's stage-major batched plan
+/// execution; (3) per-view finish over the precomputed artefacts.
+/// Results are index-aligned with `views` and identical to calling
+/// analyze_samples / analyze_bandwidth / detect on each view in a loop.
 std::vector<ftio::core::FtioResult> analyze_many(
     std::span<const TraceView> views, const ftio::core::FtioOptions& options,
     const EngineOptions& engine = {});

@@ -259,17 +259,42 @@ ftio::core::Prediction StreamingSession::predict() {
   // stage-major plan execution inside analyze_many.
   std::vector<TraceView> views;
   views.reserve(1 + members_.size());
-  views.push_back(
-      TraceView::of_samples(primary_cache_.samples, primary_window.start));
+  // The incremental curve is the source every cache was discretised from;
+  // passing it lets event-time detectors (Lomb–Scargle) read the raw
+  // knots. Retention always covers the analysis windows (the compaction
+  // horizon is peeked from the same strategy state), so the knots a
+  // detector reads are bit-identical to the uncompacted curve.
+  views.push_back(TraceView::of_samples(primary_cache_.samples,
+                                        primary_window.start, &curve));
   for (std::size_t i = 0; i < members_.size(); ++i) {
     views.push_back(TraceView::of_samples(member_caches_[i].samples,
-                                          member_windows[i].start));
+                                          member_windows[i].start, &curve));
   }
   auto results = analyze_many(views, base, options_.engine);
 
   ftio::core::finish_bandwidth_result(curve, primary_window,
                                       primary_cache_.samples, base,
                                       results[0]);
+  // Feed the cheap tier's inter-arrival estimate into the fused verdict
+  // as a corroborate-only vote: it can back (or dilute) a spectral
+  // period but never flip an aperiodic verdict on its own. The
+  // Prediction stream and refined_confidence stay untouched.
+  if (options_.triage.enabled && options_.triage.bank_vote_weight > 0.0) {
+    const ftio::core::TriageEstimate estimate = triage_bank_.estimate();
+    if (estimate.valid()) {
+      ftio::core::DetectorVerdict vote;
+      vote.name = "triage-bank";
+      vote.capabilities = ftio::core::kCapCorroborateOnly;
+      vote.weight = options_.triage.bank_vote_weight;
+      vote.found = true;
+      vote.period = estimate.period;
+      vote.frequency = estimate.frequency;
+      vote.confidence = estimate.confidence;
+      results[0].detector_verdicts.push_back(std::move(vote));
+      results[0].fused = ftio::core::fuse_verdicts(
+          results[0].detector_verdicts, base.detectors.fusion);
+    }
+  }
   const ftio::core::Prediction p =
       ftio::core::prediction_from_result(results[0], now);
   history_.push_back(p);

@@ -79,6 +79,14 @@ struct TriageOptions {
   std::size_t warmup_analyses = 3;
   /// Force a full analysis after this many consecutive skips.
   std::size_t max_skipped = 63;
+  /// Weight of the filter bank's vote in the fused prediction: whenever
+  /// a full analysis runs and the bank holds a valid estimate, a
+  /// corroborate-only "triage-bank" verdict with this weight is appended
+  /// to the result and the fused confidence is recomputed — the cheap
+  /// tier's inter-arrival evidence then backs (or dilutes) the spectral
+  /// verdict. 0 disables; refined_confidence and the Prediction stream
+  /// are never affected.
+  double bank_vote_weight = 0.5;
 };
 
 struct TriageStats {
@@ -142,6 +150,20 @@ class StreamingSession {
   /// (and, when triage is enabled, the dominant-period filter bank).
   void ingest(std::span<const ftio::trace::IoRequest> requests);
   void ingest(const ftio::trace::Trace& chunk);
+
+  /// Swaps the detector set used by subsequent predict() evaluations —
+  /// the per-flush registry surface. Safe at any flush boundary: the
+  /// incremental curve, sample caches, and window state are
+  /// detector-agnostic, so switching costs nothing and the next full
+  /// analysis simply runs (and fuses) the new selection. Compaction is
+  /// unaffected — Lomb–Scargle reads curve knots only inside the
+  /// analysis window, which retention always covers.
+  void set_detectors(ftio::core::DetectorSetOptions detectors) {
+    options_.online.base.detectors = std::move(detectors);
+  }
+  const ftio::core::DetectorSetOptions& detectors() const {
+    return options_.online.base.detectors;
+  }
 
   /// Runs one evaluation of the primary strategy (plus every ensemble
   /// member) over the current windows and records it. Returns the primary

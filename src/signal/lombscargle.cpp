@@ -1,0 +1,63 @@
+#include "signal/lombscargle.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ftio::signal {
+
+std::vector<double> lomb_scargle_power(std::span<const double> times,
+                                       std::span<const double> values,
+                                       std::span<const double> frequencies) {
+  ftio::util::expect(times.size() == values.size(),
+                     "lomb_scargle_power: times/values size mismatch");
+  std::vector<double> power(frequencies.size(), 0.0);
+  const std::size_t n = times.size();
+  if (n < 2) return power;
+
+  const double mean = ftio::util::mean(values);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = values[i] - mean;
+
+  for (std::size_t f = 0; f < frequencies.size(); ++f) {
+    ftio::util::expect(frequencies[f] > 0.0,
+                       "lomb_scargle_power: frequencies must be positive");
+    const double w = 2.0 * std::numbers::pi * frequencies[f];
+    // One trig pair per point: the double-angle sums for tau come from
+    // cos2 = c^2 - s^2, sin2 = 2cs, and the projections onto the
+    // tau-shifted basis are recovered by rotating the unshifted sums.
+    double yc = 0.0;  // sum y~ cos(w t)
+    double ys = 0.0;  // sum y~ sin(w t)
+    double c2 = 0.0;  // sum cos(2 w t)
+    double s2 = 0.0;  // sum sin(2 w t)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = std::cos(w * times[i]);
+      const double s = std::sin(w * times[i]);
+      yc += centered[i] * c;
+      ys += centered[i] * s;
+      c2 += c * c - s * s;
+      s2 += 2.0 * c * s;
+    }
+    const double two_wtau = std::atan2(s2, c2);
+    const double wtau = 0.5 * two_wtau;
+    const double ct = std::cos(wtau);
+    const double st = std::sin(wtau);
+    // sum cos^2 w(t - tau) = n/2 + (C2 cos 2wtau + S2 sin 2wtau)/2,
+    // and the sin^2 sum is the complement to n.
+    const double half_spread = 0.5 * (c2 * std::cos(two_wtau) +
+                                      s2 * std::sin(two_wtau));
+    const double cc = 0.5 * static_cast<double>(n) + half_spread;
+    const double ss = 0.5 * static_cast<double>(n) - half_spread;
+    const double yct = yc * ct + ys * st;  // sum y~ cos w(t - tau)
+    const double yst = ys * ct - yc * st;  // sum y~ sin w(t - tau)
+    double p = 0.0;
+    if (cc > 0.0) p += 0.5 * yct * yct / cc;
+    if (ss > 0.0) p += 0.5 * yst * yst / ss;
+    power[f] = p;
+  }
+  return power;
+}
+
+}  // namespace ftio::signal

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ftio::signal {
+
+/// Lomb–Scargle periodogram of an irregularly sampled real signal
+/// (Lomb 1976 / Scargle 1982, with the time-offset tau that makes the
+/// estimate invariant to time-axis shifts):
+///
+///   P(w) = 1/2 * [ (sum y~ cos w(t - tau))^2 / sum cos^2 w(t - tau)
+///                + (sum y~ sin w(t - tau))^2 / sum sin^2 w(t - tau) ],
+///   tan(2 w tau) = sum sin(2 w t) / sum cos(2 w t),
+///
+/// where y~ are the mean-subtracted values. The mean is subtracted here,
+/// so callers pass raw values. Evaluation is direct (one sin/cos pair per
+/// point and frequency, O(points * frequencies)); the per-frequency sums
+/// are rotated by tau analytically, so no per-point scratch is kept.
+///
+/// On a regular grid t_i = i/fs with frequencies at the Fourier bins
+/// k*fs/N (k < N/2) this equals the classical periodogram |X_k|^2 / N of
+/// the mean-subtracted signal — the property the detector tests pin. At
+/// the even-N Nyquist bin the sine sums vanish and Lomb–Scargle reports
+/// half the classical power (the cos/sin split is degenerate there).
+///
+/// `times` and `values` must have equal size; frequencies are in Hz and
+/// must be positive (evaluating at 0 is degenerate: the DC component was
+/// removed). Returns one power per frequency; sizes < 2 yield all zeros.
+std::vector<double> lomb_scargle_power(std::span<const double> times,
+                                       std::span<const double> values,
+                                       std::span<const double> frequencies);
+
+}  // namespace ftio::signal

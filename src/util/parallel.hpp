@@ -22,7 +22,16 @@ namespace detail {
 template <class Body>
 void parallel_for_impl(std::size_t count, Body&& body, unsigned threads) {
   if (count == 0) return;
-  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  if (count == 1) {  // skip the (surprisingly costly) concurrency probe
+    body(0);
+    return;
+  }
+  // sysconf re-derives the online-CPU count on every call (~2us on some
+  // kernels) — a measurable per-flush tax for streaming sessions, so
+  // resolve it once per process.
+  static const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  unsigned n = threads ? threads : hardware;
   n = std::max(1u, std::min<unsigned>(n, static_cast<unsigned>(count)));
   if (n == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <string_view>
+#include <vector>
+
+#include "core/acf_analysis.hpp"
+#include "core/detectors.hpp"
+#include "core/ftio.hpp"
+#include "engine/engine.hpp"
+#include "signal/lombscargle.hpp"
+#include "signal/spectrum.hpp"
+#include "signal/step_function.hpp"
+#include "util/error.hpp"
+
+namespace core = ftio::core;
+namespace sig = ftio::signal;
+namespace eng = ftio::engine;
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// Rectangular burst train: `duty` of every `period` samples at `height`.
+std::vector<double> burst_train(std::size_t n, double period, double duty,
+                                double height) {
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fmod(static_cast<double>(i), period) < duty) x[i] = height;
+  }
+  return x;
+}
+
+/// Square bandwidth wave as a step function (burst then silence).
+sig::StepFunction square_wave(int cycles, double period, double burst,
+                              double height) {
+  std::vector<double> times{0.0};
+  std::vector<double> values;
+  for (int c = 0; c < cycles; ++c) {
+    const double t0 = c * period;
+    times.push_back(t0 + burst);
+    values.push_back(height);
+    times.push_back(t0 + period);
+    values.push_back(0.0);
+  }
+  return sig::StepFunction(std::move(times), std::move(values));
+}
+
+core::DetectorVerdict make_verdict(std::string_view name, bool found,
+                                   double period, double confidence,
+                                   double weight = 1.0,
+                                   unsigned capabilities = 0) {
+  core::DetectorVerdict v;
+  v.name = std::string(name);
+  v.capabilities = capabilities;
+  v.weight = weight;
+  v.found = found;
+  v.period = period;
+  v.frequency = period > 0.0 ? 1.0 / period : 0.0;
+  v.confidence = confidence;
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lomb-Scargle periodogram
+// ---------------------------------------------------------------------------
+
+TEST(LombScargle, MatchesClassicalPeriodogramOnRegularGrid) {
+  // On a regular grid evaluated at the Fourier frequencies the LS power
+  // reduces to the classical periodogram |X_k|^2 / N — the same quantity
+  // Spectrum::power stores. The even-N Nyquist bin is excluded: there
+  // sin(w t_i) = 0 at every point and LS legitimately returns half.
+  const std::size_t n = 128;
+  const double fs = 2.0;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 5.0 + 3.0 * std::sin(kTau * t * 10.0 / 128.0) +
+           1.5 * std::cos(kTau * t * 23.0 / 128.0 + 0.7) +
+           0.5 * std::sin(kTau * t * 40.0 / 128.0 + 1.3);
+  }
+  const sig::Spectrum spectrum = sig::compute_spectrum(x, fs);
+
+  std::vector<double> times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times[i] = static_cast<double>(i) / fs;
+  }
+  std::vector<double> frequencies;
+  for (std::size_t k = 1; k < n / 2; ++k) {  // interior bins only
+    frequencies.push_back(spectrum.frequencies[k]);
+  }
+  const std::vector<double> ls =
+      sig::lomb_scargle_power(times, x, frequencies);
+
+  double p_max = 0.0;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    p_max = std::max(p_max, spectrum.power[k]);
+  }
+  ASSERT_GT(p_max, 0.0);
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    // Power ratios (bin over max) agree to 1e-9 — far below any physical
+    // distinction, limited only by accumulation order.
+    EXPECT_NEAR(ls[k - 1] / p_max, spectrum.power[k] / p_max, 1e-9)
+        << "bin " << k;
+  }
+}
+
+TEST(LombScargle, DegenerateInputsYieldZeros) {
+  const std::vector<double> f{0.1, 0.2};
+  const std::vector<double> one{1.0};
+  const auto p = sig::lomb_scargle_power(one, one, f);
+  ASSERT_EQ(p.size(), f.size());
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry default = seed pipeline, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(DetectorRegistry, DefaultSelectionBitIdenticalToSeedPipeline) {
+  const auto x = burst_train(400, 20.0, 3.0, 10.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  const core::FtioResult r = core::analyze_samples(x, opts);
+
+  // Hand-rolled seed pipeline: spectrum -> analyze_spectrum -> ACF
+  // refinement -> (c_d + c_a + c_s) / 3.
+  const sig::Spectrum spectrum = sig::compute_spectrum(x, 1.0);
+  const core::DftAnalysis dft = core::analyze_spectrum(spectrum,
+                                                       opts.candidates);
+  const core::AcfAnalysis acf = core::analyze_autocorrelation(x, 1.0,
+                                                              opts.acf);
+  const double refined =
+      dft.dominant_frequency
+          ? core::merged_confidence(dft.confidence, acf, dft.period())
+          : dft.confidence;
+
+  ASSERT_TRUE(r.dft.dominant_frequency.has_value());
+  ASSERT_TRUE(dft.dominant_frequency.has_value());
+  // EXPECT_EQ on doubles is exact equality: the registry default must be
+  // bit-identical to the seed, not merely close.
+  EXPECT_EQ(*r.dft.dominant_frequency, *dft.dominant_frequency);
+  EXPECT_EQ(r.dft.confidence, dft.confidence);
+  ASSERT_TRUE(r.acf.has_value());
+  EXPECT_EQ(r.acf->period, acf.period);
+  EXPECT_EQ(r.acf->confidence, acf.confidence);
+  EXPECT_EQ(r.refined_confidence, refined);
+  EXPECT_EQ(r.confidence(), r.refined_confidence);
+
+  // The verdicts mirror the selection: dft primary, acf corroborating.
+  ASSERT_EQ(r.detector_verdicts.size(), 2u);
+  EXPECT_EQ(r.detector_verdicts[0].name, "dft");
+  EXPECT_EQ(r.detector_verdicts[1].name, "acf");
+  EXPECT_NE(r.detector_verdicts[1].capabilities & core::kCapCorroborateOnly,
+            0u);
+  ASSERT_TRUE(r.fused.found());
+  EXPECT_EQ(r.fused.period, r.period());
+  EXPECT_EQ(r.fused.supporting, 2u);
+}
+
+TEST(DetectorRegistry, WithoutAutocorrelationOnlyDftRuns) {
+  const auto x = burst_train(400, 20.0, 3.0, 10.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.with_autocorrelation = false;
+  const core::FtioResult r = core::analyze_samples(x, opts);
+  ASSERT_EQ(r.detector_verdicts.size(), 1u);
+  EXPECT_EQ(r.detector_verdicts[0].name, "dft");
+  EXPECT_FALSE(r.acf.has_value());
+  EXPECT_EQ(r.refined_confidence, r.dft.confidence);
+}
+
+// ---------------------------------------------------------------------------
+// Trend robustness: cfd-autoperiod on a fixture the paper pipeline misses
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Linear ramp + sine: the trend's 1/f^2 spectral skirt dominates the
+/// z-scores, so the Eq. (3) candidate rule never isolates the sine.
+std::vector<double> trending_sine(std::size_t n, double slope,
+                                  double amplitude, double period) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = slope * t + amplitude * std::sin(kTau * t / period);
+  }
+  return x;
+}
+
+}  // namespace
+
+TEST(DetectorRegistry, TrendingFixtureNeedsCfdAutoperiod) {
+  const auto x = trending_sine(240, 0.8, 8.0, 20.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+
+  const core::FtioResult seed = core::analyze_samples(x, opts);
+  EXPECT_FALSE(seed.periodic());
+  EXPECT_FALSE(seed.fused.found());
+
+  core::FtioOptions with_cfd = opts;
+  with_cfd.detectors.detectors = {{"dft", 1.0}, {"cfd-autoperiod", 1.0}};
+  const core::FtioResult r = core::analyze_samples(x, with_cfd);
+  ASSERT_EQ(r.detector_verdicts.size(), 2u);
+  const core::DetectorVerdict& cfd = r.detector_verdicts[1];
+  EXPECT_EQ(cfd.name, "cfd-autoperiod");
+  ASSERT_TRUE(cfd.found);
+  EXPECT_NEAR(cfd.period, 20.0, 1.0);
+  ASSERT_TRUE(r.fused.found());
+  EXPECT_NEAR(r.fused.period, 20.0, 1.0);
+}
+
+TEST(DetectorRegistry, AutoperiodValidatesSpectralHintOnAcf) {
+  // On a clean burst train the plain autoperiod agrees with the DFT.
+  const auto x = burst_train(400, 20.0, 3.0, 10.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.detectors.detectors = {{"dft", 1.0}, {"autoperiod", 1.0}};
+  const core::FtioResult r = core::analyze_samples(x, opts);
+  ASSERT_EQ(r.detector_verdicts.size(), 2u);
+  const core::DetectorVerdict& ap = r.detector_verdicts[1];
+  ASSERT_TRUE(ap.found);
+  EXPECT_NEAR(ap.period, 20.0, 1.0);
+  EXPECT_GT(ap.confidence, 0.5);
+  ASSERT_TRUE(r.fused.found());
+  EXPECT_EQ(r.fused.supporting, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Irregular sampling: Lomb-Scargle beyond the grid Nyquist
+// ---------------------------------------------------------------------------
+
+TEST(DetectorRegistry, SubNyquistBurstTrainNeedsLombScargle) {
+  // 3 s bursts sampled at fs = 0.25 Hz: the grid Nyquist (0.125 Hz) sits
+  // below the true rate (1/3 Hz), so the discretised pipeline cannot
+  // represent the period at all. Lomb-Scargle reads the raw curve knots
+  // and, with an explicit max_frequency above 1/3 Hz, recovers it.
+  const sig::StepFunction curve = square_wave(80, 3.0, 0.4, 100.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 0.25;
+
+  const core::FtioResult seed = core::analyze_bandwidth(curve, opts);
+  if (seed.periodic()) {
+    EXPECT_GT(std::abs(seed.period() - 3.0), 0.5);  // alias, not the truth
+  }
+
+  // The DFT confidently locks the 12 s alias of the 3 s period, so the
+  // grid-bound vote must be down-weighted for the event-time evidence to
+  // win the fusion — the situation selection weights exist for.
+  core::FtioOptions with_ls = opts;
+  with_ls.detectors.detectors = {{"dft", 1.0}, {"lomb-scargle", 2.0}};
+  with_ls.detectors.lomb_scargle.max_frequency = 0.5;
+  const core::FtioResult r = core::analyze_bandwidth(curve, with_ls);
+  ASSERT_EQ(r.detector_verdicts.size(), 2u);
+  const core::DetectorVerdict& ls = r.detector_verdicts[1];
+  EXPECT_EQ(ls.name, "lomb-scargle");
+  ASSERT_TRUE(ls.found);
+  EXPECT_NEAR(ls.period, 3.0, 0.1);
+  ASSERT_TRUE(r.fused.found());
+  EXPECT_NEAR(r.fused.period, 3.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Fusion semantics
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, CorroborateOnlyVerdictCannotSeedPrediction) {
+  std::vector<core::DetectorVerdict> verdicts;
+  verdicts.push_back(make_verdict("dft", false, 0.0, 0.0));
+  verdicts.push_back(make_verdict("acf", true, 20.0, 0.9, 1.0,
+                                  core::kCapCorroborateOnly));
+  const core::FusedPrediction fused =
+      core::fuse_verdicts(verdicts, core::FusionOptions{});
+  EXPECT_FALSE(fused.found());
+}
+
+TEST(Fusion, CorroborateOnlyVerdictAddsMassToCluster) {
+  std::vector<core::DetectorVerdict> verdicts;
+  verdicts.push_back(make_verdict("dft", true, 20.0, 0.6));
+  verdicts.push_back(make_verdict("acf", true, 20.4, 0.8, 1.0,
+                                  core::kCapCorroborateOnly));
+  const core::FusedPrediction fused =
+      core::fuse_verdicts(verdicts, core::FusionOptions{});
+  ASSERT_TRUE(fused.found());
+  EXPECT_DOUBLE_EQ(fused.period, 20.0);  // the seed names the period
+  EXPECT_EQ(fused.supporting, 2u);
+  EXPECT_DOUBLE_EQ(fused.agreement, 1.0);
+  EXPECT_DOUBLE_EQ(fused.confidence, (0.6 + 0.8) / 2.0);
+}
+
+TEST(Fusion, HeaviestClusterWinsWeightedVote) {
+  std::vector<core::DetectorVerdict> verdicts;
+  verdicts.push_back(make_verdict("dft", true, 20.0, 0.9));
+  verdicts.push_back(make_verdict("autoperiod", true, 20.4, 0.2));
+  verdicts.push_back(make_verdict("lomb-scargle", true, 40.0, 0.5, 3.0));
+  const core::FusedPrediction fused =
+      core::fuse_verdicts(verdicts, core::FusionOptions{});
+  ASSERT_TRUE(fused.found());
+  EXPECT_DOUBLE_EQ(fused.period, 40.0);  // mass 1.5 beats 1.1
+  EXPECT_EQ(fused.supporting, 1u);
+  EXPECT_DOUBLE_EQ(fused.confidence, 1.5 / 5.0);
+  EXPECT_DOUBLE_EQ(fused.agreement, 3.0 / 5.0);
+}
+
+TEST(Fusion, CorroboratedConfidenceMatchesSeedMerge) {
+  // Primary found + corroborator found: exactly (c_d + c_a + c_s) / 3.
+  core::AcfAnalysis acf;
+  acf.candidate_periods = {19.5, 20.0, 20.5};
+  acf.period = 20.0;
+  acf.confidence = 0.7;
+  std::vector<core::DetectorVerdict> verdicts;
+  verdicts.push_back(make_verdict("dft", true, 20.0, 0.5));
+  auto acf_verdict = make_verdict("acf", true, 20.0, acf.confidence, 1.0,
+                                  core::kCapCorroborateOnly);
+  acf_verdict.candidate_periods = acf.candidate_periods;
+  verdicts.push_back(acf_verdict);
+  EXPECT_EQ(core::corroborated_confidence(verdicts),
+            core::merged_confidence(0.5, acf, 20.0));
+
+  // Primary not found: its own confidence passes through.
+  verdicts[0] = make_verdict("dft", false, 0.0, 0.25);
+  EXPECT_EQ(core::corroborated_confidence(verdicts), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Registry surface
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ConstantDetector final : public core::PeriodDetector {
+ public:
+  std::string_view name() const override { return "constant-7"; }
+  unsigned capabilities() const override { return 0; }
+  core::DetectorVerdict detect(const core::DetectorInput&) const override {
+    core::DetectorVerdict v;
+    v.name = "constant-7";
+    v.found = true;
+    v.period = 7.0;
+    v.frequency = 1.0 / 7.0;
+    v.confidence = 1.0;
+    return v;
+  }
+};
+
+}  // namespace
+
+TEST(DetectorRegistry, BuiltInsAreRegistered) {
+  const auto names = core::DetectorRegistry::global().names();
+  for (const std::string_view expected :
+       {core::detector_names::kDft, core::detector_names::kAcf,
+        core::detector_names::kLombScargle, core::detector_names::kAutoperiod,
+        core::detector_names::kCfdAutoperiod}) {
+    bool found = false;
+    for (const auto& n : names) found = found || n == expected;
+    EXPECT_TRUE(found) << expected;
+  }
+  EXPECT_EQ(core::DetectorRegistry::global().find("no-such-detector"),
+            nullptr);
+}
+
+TEST(DetectorRegistry, UnknownSelectionThrows) {
+  const auto x = burst_train(64, 8.0, 2.0, 1.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.detectors.detectors = {{"no-such-detector", 1.0}};
+  EXPECT_THROW(core::analyze_samples(x, opts), ftio::util::InvalidArgument);
+}
+
+TEST(DetectorRegistry, CustomDetectorPluggable) {
+  core::DetectorRegistry::global().add(std::make_unique<ConstantDetector>());
+  const auto x = burst_train(64, 8.0, 2.0, 1.0);
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.detectors.detectors = {{"dft", 1.0}, {"constant-7", 0.5}};
+  const core::FtioResult r = core::analyze_samples(x, opts);
+  ASSERT_EQ(r.detector_verdicts.size(), 2u);
+  EXPECT_EQ(r.detector_verdicts[1].name, "constant-7");
+  EXPECT_DOUBLE_EQ(r.detector_verdicts[1].weight, 0.5);
+  ASSERT_TRUE(r.detector_verdicts[1].found);
+  EXPECT_DOUBLE_EQ(r.detector_verdicts[1].period, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: registry selections stay batched and loop-identical
+// ---------------------------------------------------------------------------
+
+TEST(Engine, BatchMatchesLoopedAnalysesWithRegistrySelection) {
+  core::FtioOptions opts;
+  opts.sampling_frequency = 1.0;
+  opts.detectors.detectors = {
+      {"dft", 1.0}, {"acf", 1.0}, {"autoperiod", 1.0},
+      {"cfd-autoperiod", 1.0}};
+
+  // Three equal-length windows (the batched transform path) plus one odd
+  // size (the per-view fallback).
+  std::vector<std::vector<double>> signals;
+  signals.push_back(burst_train(256, 16.0, 3.0, 10.0));
+  signals.push_back(burst_train(256, 32.0, 5.0, 4.0));
+  signals.push_back(trending_sine(256, 0.5, 6.0, 20.0));
+  signals.push_back(burst_train(200, 25.0, 4.0, 8.0));
+
+  std::vector<eng::TraceView> views;
+  for (const auto& s : signals) views.push_back(eng::TraceView::of_samples(s));
+  const auto batched = eng::analyze_many(views, opts);
+
+  ASSERT_EQ(batched.size(), signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const core::FtioResult loop = core::analyze_samples(signals[i], opts);
+    EXPECT_EQ(batched[i].periodic(), loop.periodic()) << i;
+    EXPECT_EQ(batched[i].refined_confidence, loop.refined_confidence) << i;
+    EXPECT_EQ(batched[i].fused.found(), loop.fused.found()) << i;
+    EXPECT_EQ(batched[i].fused.period, loop.fused.period) << i;
+    EXPECT_EQ(batched[i].fused.confidence, loop.fused.confidence) << i;
+    ASSERT_EQ(batched[i].detector_verdicts.size(),
+              loop.detector_verdicts.size())
+        << i;
+    for (std::size_t d = 0; d < loop.detector_verdicts.size(); ++d) {
+      EXPECT_EQ(batched[i].detector_verdicts[d].found,
+                loop.detector_verdicts[d].found)
+          << i << ":" << d;
+      EXPECT_EQ(batched[i].detector_verdicts[d].period,
+                loop.detector_verdicts[d].period)
+          << i << ":" << d;
+      EXPECT_EQ(batched[i].detector_verdicts[d].confidence,
+                loop.detector_verdicts[d].confidence)
+          << i << ":" << d;
+    }
+  }
+}

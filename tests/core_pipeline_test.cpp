@@ -229,7 +229,8 @@ TEST(Detect, PeriodicTraceEndToEnd) {
   ASSERT_TRUE(r.periodic());
   EXPECT_NEAR(r.period(), 20.0, 1.0);
   EXPECT_GT(r.confidence(), 0.2);
-  EXPECT_GT(r.refined_confidence, r.confidence());  // ACF agrees, boosts it
+  EXPECT_GT(r.refined_confidence, r.dft.confidence);  // ACF agrees, boosts it
+  EXPECT_DOUBLE_EQ(r.confidence(), r.refined_confidence);
   ASSERT_TRUE(r.metrics.has_value());
   EXPECT_GT(r.metrics->periodicity_score(), 0.8);
   EXPECT_LT(r.abstraction_error, 0.05);
