@@ -1,0 +1,14 @@
+// libFuzzer entry point for the discretise → detect pipeline harness.
+// Kept in its own translation unit so the replay driver can link both
+// harnesses into one binary without colliding LLVMFuzzerTestOneInput
+// definitions.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness_pipeline.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ftio::fuzz::ftio_fuzz_pipeline(data, size);
+}

@@ -1,0 +1,13 @@
+// libFuzzer entry point for the trace-format harness. Kept in its own
+// translation unit so the replay driver can link both harnesses into one
+// binary without colliding LLVMFuzzerTestOneInput definitions.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness_trace_formats.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ftio::fuzz::ftio_fuzz_trace_formats(data, size);
+}

@@ -7,6 +7,7 @@
 #include "core/ftio.hpp"
 #include "signal/autocorrelation.hpp"
 #include "signal/lombscargle.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -441,7 +442,7 @@ DetectorRegistry& DetectorRegistry::global() {
 
 void DetectorRegistry::add(std::unique_ptr<PeriodDetector> detector) {
   ftio::util::expect(detector != nullptr, "DetectorRegistry: null detector");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const ftio::util::LockGuard lock(mutex_);
   for (auto& existing : detectors_) {
     if (existing->name() == detector->name()) {
       existing = std::move(detector);
@@ -452,7 +453,7 @@ void DetectorRegistry::add(std::unique_ptr<PeriodDetector> detector) {
 }
 
 const PeriodDetector* DetectorRegistry::find(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const ftio::util::LockGuard lock(mutex_);
   for (const auto& d : detectors_) {
     if (d->name() == name) return d.get();
   }
@@ -460,7 +461,7 @@ const PeriodDetector* DetectorRegistry::find(std::string_view name) const {
 }
 
 std::vector<std::string> DetectorRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const ftio::util::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(detectors_.size());
   for (const auto& d : detectors_) out.emplace_back(d->name());
@@ -560,6 +561,14 @@ FusedPrediction fuse_verdicts(std::span<const DetectorVerdict> verdicts,
                       ? std::clamp(best_support / found_weight, 0.0, 1.0)
                       : 0.0;
   out.supporting = best_count;
+  // Fused-verdict invariants (the registry's contract with every
+  // consumer): a found prediction names a positive period with a
+  // consistent frequency, confidence and agreement are normalised
+  // shares, and at least the seed verdict supports the winning cluster.
+  FTIO_ASSERT(out.period > 0.0 && *out.frequency > 0.0);
+  FTIO_ASSERT(out.confidence >= 0.0 && out.confidence <= 1.0);
+  FTIO_ASSERT(out.agreement >= 0.0 && out.agreement <= 1.0);
+  FTIO_ASSERT(out.supporting >= 1);
   return out;
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -13,6 +12,7 @@
 #include "core/candidates.hpp"
 #include "signal/spectrum.hpp"
 #include "signal/step_function.hpp"
+#include "util/annotated.hpp"
 
 namespace ftio::core {
 
@@ -215,8 +215,9 @@ class DetectorRegistry {
   std::vector<std::string> names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<PeriodDetector>> detectors_;
+  mutable ftio::util::Mutex mutex_;
+  std::vector<std::unique_ptr<PeriodDetector>> detectors_
+      FTIO_GUARDED_BY(mutex_);
 };
 
 /// Resolves the effective detector selection: `set.detectors` verbatim

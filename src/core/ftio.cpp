@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace ftio::core {
@@ -60,6 +61,21 @@ FtioResult analyze_samples_prepared(std::span<const double> samples,
     ftio::util::expect(detector != nullptr,
                        "analyze_samples: unknown detector in selection");
     DetectorVerdict verdict = detector->detect(input);
+    // The verdict invariants every registered detector (built-in or
+    // plugged-in) must uphold — fusion and the confidence merge divide
+    // by and cluster on these fields, so a malformed verdict corrupts
+    // every downstream consumer silently.
+    FTIO_CONTRACT(verdict.name == selection.name,
+                  "detector verdict must carry the registry name");
+    FTIO_CONTRACT(verdict.confidence >= 0.0 && verdict.confidence <= 1.0,
+                  "detector confidence must be in [0, 1]");
+    FTIO_CONTRACT(!verdict.found ||
+                      (verdict.period > 0.0 && std::isfinite(verdict.period) &&
+                       verdict.frequency > 0.0),
+                  "a found verdict must name a positive finite period");
+    FTIO_CONTRACT(verdict.found ||
+                      (verdict.period == 0.0 && verdict.frequency == 0.0),
+                  "a not-found verdict must leave period and frequency 0");
     verdict.weight = selection.weight;
     if (verdict.dft) {
       result.dft = std::move(*verdict.dft);
@@ -95,8 +111,16 @@ AnalysisWindow select_analysis_window(
   ftio::util::expect(end > start, "analyze_bandwidth: empty analysis window");
 
   const double duration = end - start;
-  const auto n = static_cast<std::size_t>(
-      std::ceil(duration * options.sampling_frequency));
+  // Untrusted-input guard: a parsed trace with absurd timestamps (or a
+  // non-finite duration) must be rejected here — casting an overflowing
+  // or infinite sample count to an integer is undefined behaviour, and
+  // allocating it would take the process down far from the bad input.
+  const double scaled = duration * options.sampling_frequency;
+  ftio::util::expect(std::isfinite(scaled) &&
+                         scaled < 9.0e15,  // < 2^53: exact as a double
+                     "analyze_bandwidth: window sample count not "
+                     "representable (non-finite or absurd duration * fs)");
+  const auto n = static_cast<std::size_t>(std::ceil(scaled));
   ftio::util::expect(n > 0, "analyze_bandwidth: window shorter than a sample");
   return {start, end, n};
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/annotated.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace ftio::engine {
@@ -59,6 +61,19 @@ StreamingSession::StreamingSession(StreamingOptions options)
 
 void StreamingSession::ingest(
     std::span<const ftio::trace::IoRequest> requests) {
+  const ftio::util::LockGuard lock(mutex_);
+  ingest_locked(requests);
+}
+
+void StreamingSession::ingest(const ftio::trace::Trace& chunk) {
+  const ftio::util::LockGuard lock(mutex_);
+  if (app_.empty()) app_ = chunk.app;
+  rank_count_ = std::max(rank_count_, chunk.rank_count);
+  ingest_locked(std::span<const ftio::trace::IoRequest>(chunk.requests));
+}
+
+void StreamingSession::ingest_locked(
+    std::span<const ftio::trace::IoRequest> requests) {
   double chunk_bytes = 0.0;
   double chunk_byte_time = 0.0;
   for (const auto& r : requests) {
@@ -89,12 +104,6 @@ void StreamingSession::ingest(
     triage_bank_.observe(chunk_byte_time / chunk_bytes, chunk_bytes);
   }
   dirty_since_ = std::min(dirty_since_, bandwidth_.extend(requests));
-}
-
-void StreamingSession::ingest(const ftio::trace::Trace& chunk) {
-  if (app_.empty()) app_ = chunk.app;
-  rank_count_ = std::max(rank_count_, chunk.rank_count);
-  ingest(std::span<const ftio::trace::IoRequest>(chunk.requests));
 }
 
 double StreamingSession::derived_sampling_frequency() const {
@@ -198,7 +207,14 @@ ftio::core::Prediction StreamingSession::skipped_prediction(double now) {
   return p;
 }
 
+void StreamingSession::note_clamped(double requested) {
+  if (bandwidth_.floor_time() && requested < *bandwidth_.floor_time()) {
+    ++compaction_stats_.clamped_windows;
+  }
+}
+
 ftio::core::Prediction StreamingSession::predict() {
+  const ftio::util::LockGuard lock(mutex_);
   ftio::util::expect(request_count_ > 0,
                      "StreamingSession: no data ingested");
   ftio::util::expect(!bandwidth_.curve().empty(),
@@ -216,12 +232,6 @@ ftio::core::Prediction StreamingSession::predict() {
   ftio::core::FtioOptions base = options_.online.base;
   base.window_end = now;
   base.sampling_frequency = derived_sampling_frequency();
-
-  const auto note_clamped = [this](double requested) {
-    if (bandwidth_.floor_time() && requested < *bandwidth_.floor_time()) {
-      ++compaction_stats_.clamped_windows;
-    }
-  };
 
   // Primary window: shared selection logic, then extend the cached sample
   // vector — a full re-read of the window only happens when the grid
@@ -344,15 +354,26 @@ void StreamingSession::maybe_compact(double now) {
       std::max(lookback * options_.compaction.lookback_slack,
                options_.compaction.min_keep_seconds);
   const double horizon = now - keep;
+  // The retained-span guarantee the whole O(window) tier rests on:
+  // eviction never reaches past the earliest window any strategy could
+  // select next (keep >= lookback because lookback_slack >= 1), so the
+  // next predict() always finds its data intact.
+  FTIO_ASSERT(horizon <= reach);
 
+  const double start_before = bandwidth_.curve().start_time();
   const std::size_t segments_before = bandwidth_.curve().segment_count();
   const std::size_t evicted = bandwidth_.compact(horizon);
   if (evicted > 0) {
+    // compact() cuts at the last boundary at or before the horizon, so
+    // an evicting pass leaves the support covering [horizon, now] ...
+    FTIO_ASSERT(bandwidth_.curve().start_time() <= horizon);
     ++compaction_stats_.compactions;
     compaction_stats_.evicted_events += evicted;
     compaction_stats_.evicted_segments +=
         segments_before - bandwidth_.curve().segment_count();
   }
+  // ... and the retained edge only ever advances.
+  FTIO_ASSERT(bandwidth_.curve().start_time() >= start_before);
   compaction_stats_.retained_start = bandwidth_.curve().start_time();
 
   // Discretisation caches rebuild when their anchor moves (the retained
@@ -376,6 +397,7 @@ void StreamingSession::trim_history(
 }
 
 std::size_t StreamingSession::memory_bytes() const {
+  const ftio::util::LockGuard lock(mutex_);
   std::size_t total = sizeof(*this);
   total += bandwidth_.memory_bytes();
   total += cache_bytes(primary_cache_.samples);
@@ -394,6 +416,7 @@ std::size_t StreamingSession::memory_bytes() const {
 
 const std::vector<ftio::core::Prediction>& StreamingSession::ensemble_history(
     std::size_t i) const {
+  const ftio::util::LockGuard lock(mutex_);
   ftio::util::expect(i < members_.size(),
                      "StreamingSession: ensemble index out of range");
   return members_[i].history;
@@ -401,6 +424,7 @@ const std::vector<ftio::core::Prediction>& StreamingSession::ensemble_history(
 
 const std::vector<ftio::core::FrequencyInterval>&
 StreamingSession::merged_intervals() const {
+  const ftio::util::LockGuard lock(mutex_);
   if (intervals_stale_) {
     intervals_ = ftio::core::merge_predictions(history_);
     intervals_stale_ = false;

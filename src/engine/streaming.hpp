@@ -10,6 +10,7 @@
 #include "core/triage.hpp"
 #include "engine/engine.hpp"
 #include "trace/model.hpp"
+#include "util/annotated.hpp"
 
 namespace ftio::engine {
 
@@ -142,14 +143,27 @@ struct StreamingOptions {
 /// TriageOptions::enabled most flushes on a steady-period trace skip the
 /// full pipeline entirely. See bench/micro_streaming.cpp for the
 /// trajectory of all three tiers.
+///
+/// Concurrency contract (the sharded-daemon posture, compiler-checked
+/// via the util::annotated primitives): every mutating entry point —
+/// ingest(), predict(), set_detectors() — and every by-value accessor
+/// serialises on an internal mutex, so any number of threads may feed
+/// and evaluate one session concurrently. Accessors that return
+/// *references* into session state (history(), last_result(),
+/// bandwidth(), merged_intervals(), ensemble_history(), app(),
+/// detectors()) take the lock for their own bookkeeping but hand out a
+/// reference the lock no longer covers: call them only while no other
+/// thread is mutating the session, exactly the single-threaded reading
+/// pattern they always had.
 class StreamingSession {
  public:
   explicit StreamingSession(StreamingOptions options);
 
   /// Appends freshly flushed requests, extending the incremental curve
   /// (and, when triage is enabled, the dominant-period filter bank).
-  void ingest(std::span<const ftio::trace::IoRequest> requests);
-  void ingest(const ftio::trace::Trace& chunk);
+  void ingest(std::span<const ftio::trace::IoRequest> requests)
+      FTIO_EXCLUDES(mutex_);
+  void ingest(const ftio::trace::Trace& chunk) FTIO_EXCLUDES(mutex_);
 
   /// Swaps the detector set used by subsequent predict() evaluations —
   /// the per-flush registry surface. Safe at any flush boundary: the
@@ -158,7 +172,9 @@ class StreamingSession {
   /// analysis simply runs (and fuses) the new selection. Compaction is
   /// unaffected — Lomb–Scargle reads curve knots only inside the
   /// analysis window, which retention always covers.
-  void set_detectors(ftio::core::DetectorSetOptions detectors) {
+  void set_detectors(ftio::core::DetectorSetOptions detectors)
+      FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
     options_.online.base.detectors = std::move(detectors);
   }
   const ftio::core::DetectorSetOptions& detectors() const {
@@ -172,7 +188,7 @@ class StreamingSession {
   /// CompactionOptions for the scope of that promise when the cheap
   /// tiers are enabled). Throws InvalidArgument when no data was
   /// ingested yet.
-  ftio::core::Prediction predict();
+  ftio::core::Prediction predict() FTIO_EXCLUDES(mutex_);
 
   /// Primary predictions made so far, in order (the retained tail when
   /// CompactionOptions::max_history is set).
@@ -183,7 +199,7 @@ class StreamingSession {
   /// History of ensemble member `i`, index-aligned with
   /// StreamingOptions::ensemble.
   const std::vector<ftio::core::Prediction>& ensemble_history(
-      std::size_t i) const;
+      std::size_t i) const FTIO_EXCLUDES(mutex_);
 
   /// Full result of the latest primary evaluation (abstraction error and
   /// metrics included, like the offline detect()). Unchanged by skipped
@@ -192,7 +208,8 @@ class StreamingSession {
 
   /// Merged frequency intervals of the primary history (Sec. II-D);
   /// cached between predictions.
-  const std::vector<ftio::core::FrequencyInterval>& merged_intervals() const;
+  const std::vector<ftio::core::FrequencyInterval>& merged_intervals() const
+      FTIO_EXCLUDES(mutex_);
 
   /// The incrementally maintained application-level bandwidth curve —
   /// bit-identical to trace::bandwidth_signal over all ingested requests
@@ -202,28 +219,51 @@ class StreamingSession {
   }
 
   /// The data window the *next* primary evaluation would use.
-  double current_window_start() const { return state_.window_start; }
+  double current_window_start() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return state_.window_start;
+  }
 
   // Running trace aggregates (the requests themselves are not stored).
-  std::size_t request_count() const { return request_count_; }
-  double begin_time() const { return begin_time_; }
-  double end_time() const { return end_time_; }
+  std::size_t request_count() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return request_count_;
+  }
+  double begin_time() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return begin_time_;
+  }
+  double end_time() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return end_time_;
+  }
   const std::string& app() const { return app_; }
-  int rank_count() const { return rank_count_; }
+  int rank_count() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return rank_count_;
+  }
 
-  // O(window) / triage observability.
-  const CompactionStats& compaction_stats() const { return compaction_stats_; }
-  const TriageStats& triage_stats() const { return triage_stats_; }
+  // O(window) / triage observability (by value: safe during concurrent
+  // ingest/predict).
+  CompactionStats compaction_stats() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return compaction_stats_;
+  }
+  TriageStats triage_stats() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    return triage_stats_;
+  }
   /// Current filter-bank estimate (invalid when triage is disabled or
   /// the bank has not warmed up yet).
-  ftio::core::TriageEstimate triage_estimate() const {
+  ftio::core::TriageEstimate triage_estimate() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
     return triage_bank_.estimate();
   }
   /// Approximate resident bytes of all per-session state: sweep events,
   /// level cache, curve, discretisation caches, histories, intervals,
   /// and the filter bank. Capacity-based, so eviction without
   /// shrink-to-fit would not show up as savings.
-  std::size_t memory_bytes() const;
+  std::size_t memory_bytes() const FTIO_EXCLUDES(mutex_);
 
  private:
   struct Member {
@@ -249,57 +289,77 @@ class StreamingSession {
     bool valid = false;
   };
 
-  double derived_sampling_frequency() const;
-  std::size_t clean_sample_prefix(
-      const SampleCache& cache,
-      const ftio::core::AnalysisWindow& window) const;
+  /// Shared ingest body; both public overloads lock and delegate here
+  /// (ingest(Trace) could not simply call ingest(span) once the public
+  /// surface locks — the mutex is not recursive).
+  void ingest_locked(std::span<const ftio::trace::IoRequest> requests)
+      FTIO_REQUIRES(mutex_);
+  double derived_sampling_frequency() const FTIO_REQUIRES(mutex_);
+  std::size_t clean_sample_prefix(const SampleCache& cache,
+                                  const ftio::core::AnalysisWindow& window)
+      const FTIO_REQUIRES(mutex_);
   void discretize_into_cache(SampleCache& cache,
                              const ftio::core::AnalysisWindow& window,
-                             const ftio::core::FtioOptions& base);
+                             const ftio::core::FtioOptions& base)
+      FTIO_REQUIRES(mutex_);
+  /// Counts a window whose requested start fell below the compaction
+  /// floor (defensive diagnostic — stays 0 for built-in strategies).
+  void note_clamped(double requested) FTIO_REQUIRES(mutex_);
   /// True when the triage tier may satisfy this flush without the full
   /// pipeline (stable estimate, warmed up, within the skip cadence).
-  bool should_skip_analysis();
+  bool should_skip_analysis() FTIO_REQUIRES(mutex_);
   /// The skipped-flush path: re-stamps the last full predictions.
-  ftio::core::Prediction skipped_prediction(double now);
+  ftio::core::Prediction skipped_prediction(double now) FTIO_REQUIRES(mutex_);
   /// Evicts state behind the largest reachable look-back window.
-  void maybe_compact(double now);
-  void trim_history(std::vector<ftio::core::Prediction>& history) const;
+  void maybe_compact(double now) FTIO_REQUIRES(mutex_);
+  void trim_history(std::vector<ftio::core::Prediction>& history) const
+      FTIO_REQUIRES(mutex_);
+
+  /// Serialises every mutating entry point and by-value accessor. The
+  /// members below split into two groups: FTIO_GUARDED_BY members never
+  /// escape by reference, so the analysis proves every access locked;
+  /// the rest are handed out by the const-reference accessors, which a
+  /// GUARDED_BY annotation cannot express (the reference outlives the
+  /// lock) — they are still only *mutated* under the mutex, and reading
+  /// them through those accessors requires the documented quiescence.
+  mutable ftio::util::Mutex mutex_;
 
   StreamingOptions options_;
   trace::IncrementalBandwidth bandwidth_;
-  ftio::core::OnlineWindowState state_;
+  ftio::core::OnlineWindowState state_ FTIO_GUARDED_BY(mutex_);
   std::vector<ftio::core::Prediction> history_;
   std::vector<Member> members_;
   ftio::core::FtioResult last_result_;
 
   // Running aggregates over every ingested request (pre-filter, matching
   // Trace::begin_time / end_time / suggest_sampling_frequency).
-  std::size_t request_count_ = 0;
-  double begin_time_ = 0.0;
-  double end_time_ = 0.0;
-  double min_request_duration_ = 0.0;
+  std::size_t request_count_ FTIO_GUARDED_BY(mutex_) = 0;
+  double begin_time_ FTIO_GUARDED_BY(mutex_) = 0.0;
+  double end_time_ FTIO_GUARDED_BY(mutex_) = 0.0;
+  double min_request_duration_ FTIO_GUARDED_BY(mutex_) = 0.0;
   std::string app_;
-  int rank_count_ = 0;
+  int rank_count_ FTIO_GUARDED_BY(mutex_) = 0;
 
   // Incremental discretisation caches: primary window + one per member.
-  SampleCache primary_cache_;
-  std::vector<SampleCache> member_caches_;
+  SampleCache primary_cache_ FTIO_GUARDED_BY(mutex_);
+  std::vector<SampleCache> member_caches_ FTIO_GUARDED_BY(mutex_);
   /// Earliest curve time changed by ingests since the last full
   /// analysis (skipped flushes leave it accumulating).
-  double dirty_since_ = 0.0;
+  double dirty_since_ FTIO_GUARDED_BY(mutex_) = 0.0;
 
   // Cached DBSCAN merge of the primary history.
   mutable std::vector<ftio::core::FrequencyInterval> intervals_;
   mutable bool intervals_stale_ = false;
 
   // Triage tier state.
-  ftio::core::TriageFilterBank triage_bank_;
-  ftio::core::TriageEstimate triage_reference_;  ///< bank @ last full run
-  ftio::core::Prediction last_full_primary_;
-  std::size_t skipped_since_full_ = 0;
-  TriageStats triage_stats_;
+  ftio::core::TriageFilterBank triage_bank_ FTIO_GUARDED_BY(mutex_);
+  /// Bank estimate @ last full run.
+  ftio::core::TriageEstimate triage_reference_ FTIO_GUARDED_BY(mutex_);
+  ftio::core::Prediction last_full_primary_ FTIO_GUARDED_BY(mutex_);
+  std::size_t skipped_since_full_ FTIO_GUARDED_BY(mutex_) = 0;
+  TriageStats triage_stats_ FTIO_GUARDED_BY(mutex_);
 
-  CompactionStats compaction_stats_;
+  CompactionStats compaction_stats_ FTIO_GUARDED_BY(mutex_);
 };
 
 }  // namespace ftio::engine

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/annotated.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace ftio::signal {
@@ -22,6 +24,18 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 /// values. sin(pi) rounds to ~1.22e-16 rather than 0, and that residue
 /// multiplied into a nonzero bin turns an exactly-zero spectrum line into
 /// noise (visible on constant signals, whose off-DC bins cancel exactly).
+/// The planar aliasing contract shared by every planar entry point: an
+/// input lane and an output lane must either be the same array (full
+/// alias, the documented in-place form) or not overlap at all. Partial
+/// overlap silently corrupts the permuted gather, so Debug/sanitizer
+/// builds reject it here instead of producing a plausible wrong
+/// spectrum.
+inline bool alias_full_or_disjoint(const double* in, const double* out,
+                                   std::size_t n) {
+  if (in == out) return true;
+  return in + n <= out || out + n <= in;
+}
+
 Complex unit_root(std::size_t k, std::size_t n) {
   if (k == 0) return Complex(1.0, 0.0);
   if (4 * k == n) return Complex(0.0, -1.0);
@@ -872,6 +886,10 @@ void FftPlan::forward_planar_batch(std::size_t batch, std::size_t stride,
   ftio::util::expect(in_re.size() >= need && in_im.size() >= need &&
                          out_re.size() >= need && out_im.size() >= need,
                      "FftPlan::forward_planar_batch: lanes too short");
+  FTIO_CONTRACT(
+      alias_full_or_disjoint(in_re.data(), out_re.data(), need) &&
+          alias_full_or_disjoint(in_im.data(), out_im.data(), need),
+      "batch lanes must fully alias (same bases and stride) or not overlap");
   const bool grouped =
       pow2_ && n_ >= 4 && batch >= kBatchGroup && batch_tile_rows(false) > 1;
   std::size_t b = 0;
@@ -907,6 +925,10 @@ void FftPlan::inverse_planar_batch(std::size_t batch, std::size_t stride,
   ftio::util::expect(in_re.size() >= need && in_im.size() >= need &&
                          out_re.size() >= need && out_im.size() >= need,
                      "FftPlan::inverse_planar_batch: lanes too short");
+  FTIO_CONTRACT(
+      alias_full_or_disjoint(in_re.data(), out_re.data(), need) &&
+          alias_full_or_disjoint(in_im.data(), out_im.data(), need),
+      "batch lanes must fully alias (same bases and stride) or not overlap");
   const bool grouped =
       pow2_ && n_ >= 4 && batch >= kBatchGroup && batch_tile_rows(false) > 1;
   std::size_t b = 0;
@@ -1257,6 +1279,9 @@ void FftPlan::forward_planar(std::span<const double> in_re,
   ftio::util::expect(in_re.size() == n_ && in_im.size() == n_ &&
                          out_re.size() == n_ && out_im.size() == n_,
                      "FftPlan::forward_planar: size mismatch");
+  FTIO_CONTRACT(alias_full_or_disjoint(in_re.data(), out_re.data(), n_) &&
+                    alias_full_or_disjoint(in_im.data(), out_im.data(), n_),
+                "planar lanes must fully alias or not overlap");
   if (n_ == 1) {
     out_re[0] = in_re[0];
     out_im[0] = in_im[0];
@@ -1300,6 +1325,9 @@ void FftPlan::inverse_planar(std::span<const double> in_re,
   ftio::util::expect(in_re.size() == n_ && in_im.size() == n_ &&
                          out_re.size() == n_ && out_im.size() == n_,
                      "FftPlan::inverse_planar: size mismatch");
+  FTIO_CONTRACT(alias_full_or_disjoint(in_re.data(), out_re.data(), n_) &&
+                    alias_full_or_disjoint(in_im.data(), out_im.data(), n_),
+                "planar lanes must fully alias or not overlap");
   if (n_ == 1) {
     out_re[0] = in_re[0];
     out_im[0] = in_im[0];
@@ -1602,25 +1630,32 @@ void FftPlan::inverse_real_half_planar(std::span<const double> in_re,
 // ---------------------------------------------------------------------------
 
 struct PlanCache::Impl {
-  mutable std::mutex mutex;
-  std::size_t capacity;
+  mutable ftio::util::Mutex mutex;
+  std::size_t capacity FTIO_GUARDED_BY(mutex);
   // MRU-ordered list of (size, plan); map values point into the list.
-  std::list<std::pair<std::size_t, std::shared_ptr<const FftPlan>>> lru;
-  std::unordered_map<std::size_t, decltype(lru)::iterator> index;
+  std::list<std::pair<std::size_t, std::shared_ptr<const FftPlan>>> lru
+      FTIO_GUARDED_BY(mutex);
+  std::unordered_map<std::size_t,
+                     std::list<std::pair<std::size_t,
+                                         std::shared_ptr<const FftPlan>>>::
+                         iterator>
+      index FTIO_GUARDED_BY(mutex);
   // In-flight constructions, keyed by size: late arrivals block on the
   // winner's future instead of duplicating a potentially multi-ms build.
+  // The Build objects themselves are unguarded — the winning thread owns
+  // the promise, waiters only touch their shared_future copy.
   struct Build {
     std::promise<std::shared_ptr<const FftPlan>> promise;
     std::shared_future<std::shared_ptr<const FftPlan>> future;
   };
-  std::unordered_map<std::size_t, std::shared_ptr<Build>> building;
-  // Counters are only touched under `mutex`.
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t miss_waits = 0;
-  std::uint64_t evictions = 0;
+  std::unordered_map<std::size_t, std::shared_ptr<Build>> building
+      FTIO_GUARDED_BY(mutex);
+  std::uint64_t hits FTIO_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses FTIO_GUARDED_BY(mutex) = 0;
+  std::uint64_t miss_waits FTIO_GUARDED_BY(mutex) = 0;
+  std::uint64_t evictions FTIO_GUARDED_BY(mutex) = 0;
 
-  void evict_to_capacity_locked() {
+  void evict_to_capacity_locked() FTIO_REQUIRES(mutex) {
     while (lru.size() > capacity) {
       index.erase(lru.back().first);
       lru.pop_back();
@@ -1639,7 +1674,7 @@ std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
   std::shared_ptr<Impl::Build> build;
   std::shared_future<std::shared_ptr<const FftPlan>> wait_on;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const ftio::util::LockGuard lock(impl_->mutex);
     auto it = impl_->index.find(n);
     if (it != impl_->index.end()) {
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
@@ -1669,14 +1704,14 @@ std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
     plan = std::make_shared<const FftPlan>(n);
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      const ftio::util::LockGuard lock(impl_->mutex);
       impl_->building.erase(n);
     }
     build->promise.set_exception(std::current_exception());
     throw;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const ftio::util::LockGuard lock(impl_->mutex);
     ++impl_->misses;
     impl_->lru.emplace_front(n, plan);
     impl_->index[n] = impl_->lru.begin();
@@ -1688,7 +1723,7 @@ std::shared_ptr<const FftPlan> PlanCache::get(std::size_t n) {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const ftio::util::LockGuard lock(impl_->mutex);
   Stats s;
   s.hits = impl_->hits;
   s.misses = impl_->misses;
@@ -1699,18 +1734,18 @@ PlanCache::Stats PlanCache::stats() const {
 }
 
 std::size_t PlanCache::capacity() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const ftio::util::LockGuard lock(impl_->mutex);
   return impl_->capacity;
 }
 
 void PlanCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const ftio::util::LockGuard lock(impl_->mutex);
   impl_->capacity = capacity == 0 ? 1 : capacity;
   impl_->evict_to_capacity_locked();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const ftio::util::LockGuard lock(impl_->mutex);
   impl_->lru.clear();
   impl_->index.clear();
   impl_->hits = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace ftio::signal {
@@ -93,6 +94,11 @@ void StepFunction::trim_front(std::size_t drop_boundaries) {
                times_.begin() + static_cast<std::ptrdiff_t>(drop_boundaries));
   values_.erase(values_.begin(),
                 values_.begin() + static_cast<std::ptrdiff_t>(drop_boundaries));
+  // Mutation post-condition: the class invariant (one more boundary than
+  // segments, strictly increasing boundaries) must survive every
+  // in-place edit — a violation here is a library bug, not caller input.
+  FTIO_ASSERT(times_.size() == values_.size() + 1);
+  FTIO_ASSERT(times_.size() < 2 || times_.front() < times_[1]);
 }
 
 void StepFunction::shrink_to_fit() {
@@ -106,7 +112,13 @@ DiscretizedSignal discretize(const StepFunction& f, double fs,
   ftio::util::expect(!f.empty(), "discretize: empty signal");
 
   const double duration = f.duration();
-  const auto n = static_cast<std::size_t>(std::ceil(duration * fs));
+  // Untrusted-input guard (see core::select_analysis_window): casting a
+  // non-finite or overflowing sample count is undefined behaviour.
+  const double scaled = duration * fs;
+  ftio::util::expect(std::isfinite(scaled) && scaled < 9.0e15,
+                     "discretize: sample count not representable "
+                     "(non-finite or absurd duration * fs)");
+  const auto n = static_cast<std::size_t>(std::ceil(scaled));
   ftio::util::expect(n > 0, "discretize: signal shorter than one sample");
 
   DiscretizedSignal d;

@@ -160,6 +160,11 @@ class Decoder {
   }
 
   Json decode_array(std::size_t n) {
+    // Found by fuzz_trace_formats: the element count is untrusted, and
+    // every element occupies at least one input byte — reject a count
+    // the remaining input cannot possibly satisfy *before* the reserve,
+    // or a 6-byte document demands a multi-GiB allocation.
+    if (n > bytes_.size() - pos_) fail("truncated array");
     Json::Array arr;
     arr.reserve(n);
     for (std::size_t i = 0; i < n; ++i) arr.push_back(decode_value());
@@ -167,6 +172,9 @@ class Decoder {
   }
 
   Json decode_map(std::size_t n) {
+    // Same bound as decode_array; a map entry is at least two bytes
+    // (key tag + value tag).
+    if (n > (bytes_.size() - pos_) / 2) fail("truncated map");
     Json::Object obj;
     obj.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {

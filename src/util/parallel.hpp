@@ -5,15 +5,58 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <limits>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/annotated.hpp"
+
 namespace ftio::util {
 
 namespace detail {
+
+/// The error channel shared by the workers of one parallel_for: the
+/// failure with the *lowest index* wins, so which exception the caller
+/// sees does not depend on thread scheduling — repeated runs of a batch
+/// whose item 3 and item 17 both throw always surface item 3's
+/// exception. The exception object itself travels as a
+/// std::exception_ptr, so the caller catches the worker's original type
+/// with its payload intact, not a copy funnelled through what().
+class FirstErrorChannel {
+ public:
+  /// Records the exception thrown by `body(index)`. Thread-safe.
+  void record(std::size_t index, std::exception_ptr error) {
+    const LockGuard lock(mutex_);
+    if (!error_ || index < index_) {
+      error_ = std::move(error);
+      index_ = index;
+    }
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Cheap cancellation probe for the worker loops (no lock).
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// Rethrows the recorded exception, if any. Call after every worker
+  /// joined — nothing may race record() once the owner rethrows.
+  void rethrow_if_failed() {
+    std::exception_ptr error;
+    {
+      const LockGuard lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::exception_ptr error_ FTIO_GUARDED_BY(mutex_);
+  std::size_t index_ FTIO_GUARDED_BY(mutex_) =
+      std::numeric_limits<std::size_t>::max();
+  std::atomic<bool> failed_{false};
+};
 
 /// Shared implementation behind both parallel_for overloads. Templated on
 /// the callable so hot batch loops (engine fan-out, wavelet rows, forest
@@ -40,26 +83,22 @@ void parallel_for_impl(std::size_t count, Body&& body, unsigned threads) {
   std::vector<std::thread> workers;
   workers.reserve(n);
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  FirstErrorChannel errors;
   for (unsigned t = 0; t < n; ++t) {
     workers.emplace_back([&] {
-      while (!failed.load(std::memory_order_relaxed)) {
+      while (!errors.failed()) {
         const std::size_t i = next.fetch_add(1);
         if (i >= count) break;
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
+          errors.record(i, std::current_exception());
         }
       }
     });
   }
   for (auto& w : workers) w.join();
-  if (error) std::rethrow_exception(error);
+  errors.rethrow_if_failed();
 }
 
 }  // namespace detail
@@ -73,10 +112,13 @@ void parallel_for_impl(std::size_t count, Body&& body, unsigned threads) {
 /// The callable is taken as a template parameter, so lambdas run without
 /// any std::function allocation or per-index virtual-call indirection.
 ///
-/// If a body throws, the first exception is captured and rethrown on the
-/// calling thread after all workers join (an exception escaping a
-/// std::thread would std::terminate the process); remaining indices may
-/// be skipped once an exception is pending.
+/// If a body throws, the exception of the lowest failing index is
+/// captured as a std::exception_ptr and rethrown intact on the calling
+/// thread after all workers join (an exception escaping a std::thread
+/// would std::terminate the process); remaining indices may be skipped
+/// once an exception is pending. The lowest-index rule makes the
+/// propagated exception deterministic when one index fails, and
+/// schedule-independent-as-possible when several do.
 template <class Body,
           class = std::enable_if_t<std::is_invocable_v<Body&, std::size_t>>>
 inline void parallel_for(std::size_t count, Body&& body,

@@ -1,0 +1,94 @@
+// Exception propagation through util::parallel_for: a worker failure
+// must reach the caller as the original exception object (type and
+// payload intact, via std::exception_ptr), and when exactly one index
+// fails, which exception surfaces must not depend on thread scheduling.
+
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+/// A payload-carrying type no standard exception slices down to: if the
+/// caller catches this very type with the index intact, the channel
+/// transported the original object, not a what() copy.
+struct IndexedFailure : std::runtime_error {
+  explicit IndexedFailure(std::size_t index)
+      : std::runtime_error("worker failure"), index(index) {}
+  std::size_t index;
+};
+
+TEST(UtilParallel, PropagatesCustomExceptionWithPayload) {
+  constexpr std::size_t kCount = 64;
+  constexpr std::size_t kFailing = 23;
+  std::atomic<std::size_t> completed{0};
+  bool caught = false;
+  try {
+    ftio::util::parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          if (i == kFailing) throw IndexedFailure(i);
+          completed.fetch_add(1);
+        },
+        4);
+  } catch (const IndexedFailure& e) {
+    caught = true;
+    EXPECT_EQ(e.index, kFailing);
+  }
+  EXPECT_TRUE(caught);
+  // Every non-failing index either ran or was legitimately skipped after
+  // the failure; none may run twice.
+  EXPECT_LE(completed.load(), kCount - 1);
+}
+
+TEST(UtilParallel, LowestIndexWinsWhenEveryIndexFails) {
+  // Index 0 is always claimed (the first fetch_add) and always throws, so
+  // the deterministic lowest-index rule must surface exactly index 0 no
+  // matter how the workers interleave. Repeat to give scheduling a
+  // chance to misbehave.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      ftio::util::parallel_for(
+          32, [](std::size_t i) { throw IndexedFailure(i); }, 4);
+      FAIL() << "parallel_for swallowed the failure";
+    } catch (const IndexedFailure& e) {
+      EXPECT_EQ(e.index, 0u);
+    }
+  }
+}
+
+TEST(UtilParallel, SerialFallbacksPropagateToo) {
+  // count == 1 and threads == 1 take the non-threaded paths; the
+  // exception must still arrive as the original type.
+  EXPECT_THROW(
+      ftio::util::parallel_for(
+          1, [](std::size_t i) { throw IndexedFailure(i); }, 4),
+      IndexedFailure);
+  try {
+    ftio::util::parallel_for(
+        8, [](std::size_t i) {
+          if (i == 5) throw IndexedFailure(i);
+        },
+        1);
+    FAIL() << "serial path swallowed the failure";
+  } catch (const IndexedFailure& e) {
+    EXPECT_EQ(e.index, 5u);
+  }
+}
+
+TEST(UtilParallel, CompletesAllIndicesWithoutFailure) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ftio::util::parallel_for(kCount,
+                           [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
