@@ -38,6 +38,13 @@ ceiling. --append-history records the current run (on a passing gate
 only, trimmed to --history-limit entries) so the window keeps tracking
 the observed variance.
 
+With --max-history-gaps N, a gated benchmark whose rolling history shows
+more than N missing runs *after its first recorded appearance* fails the
+gate: a bench that keeps dropping out of the history is either flaky or
+silently skipped in CI, and both make its auto-threshold window
+meaningless. Runs before a benchmark first appears never count (adding
+a benchmark never breaks the gate retroactively).
+
 Exit status 1 if any benchmark matching --filter regressed, 0 otherwise
 (2 on malformed input). New/removed benchmarks and improvements are
 reported informationally.
@@ -87,6 +94,15 @@ def history_values(history, name):
         if isinstance(value, (int, float)) and value > 0:
             out.append(float(value))
     return out
+
+
+def history_gaps(history, name):
+    """Runs missing `name` after its first recorded appearance."""
+    present = [name in run.get("times", {}) for run in history["runs"]]
+    if True not in present:
+        return 0
+    first = present.index(True)
+    return sum(1 for p in present[first:] if not p)
 
 
 def auto_threshold(values, ceiling, floor):
@@ -169,6 +185,15 @@ def main():
         help="runs a benchmark needs in the history before its window is "
         "tightened (default 5)",
     )
+    parser.add_argument(
+        "--max-history-gaps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail when a gated benchmark's history is missing it from "
+        "more than N runs after its first appearance (flaky or silently "
+        "skipped benches poison --auto-threshold); default: disabled",
+    )
     args = parser.parse_args()
 
     base = load_times(args.baseline)
@@ -249,6 +274,16 @@ def main():
         cs = f"{c:{fmt}} {unit}" if c is not None else "-"
         print(f"{name:<{width}}  {bs:>14}  {cs:>14}  {note}")
 
+    gappy = []
+    if args.max_history_gaps is not None:
+        names = {n for run in history["runs"] for n in run.get("times", {})}
+        for name in sorted(names):
+            if not gate.search(name):
+                continue
+            gaps = history_gaps(history, name)
+            if gaps > args.max_history_gaps:
+                gappy.append((name, gaps))
+
     failed = False
     if missing:
         print(
@@ -266,6 +301,15 @@ def main():
         )
         for name, ratio, window in regressions:
             print(f"  {name}: {ratio:.2f}x (window {100 * window:.0f}%)")
+        failed = True
+    if gappy:
+        print(
+            f"\nFAIL: {len(gappy)} gated benchmark(s) have more than "
+            f"{args.max_history_gaps} missing run(s) in the history since "
+            f"they first appeared (flaky or silently skipped):"
+        )
+        for name, gaps in gappy:
+            print(f"  {name}: missing from {gaps} run(s)")
         failed = True
     if failed:
         return 1

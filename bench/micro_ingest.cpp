@@ -1,0 +1,157 @@
+// Microbenchmark: the ingest daemon's per-shard hot paths.
+//
+//  - BM_MailboxPushPop: the admission point in isolation — one bounded
+//    mailbox cycling push/pop_batch, the per-flush queueing overhead
+//    every submission pays before any analysis work.
+//  - BM_MailboxCoalesce: the same mailbox held at its coalesce depth by
+//    a hot tenant, so every push takes the newest-first merge scan —
+//    the admission cost under backpressure rather than at rest.
+//  - BM_DaemonSteadyIngest: a foreground daemon driving T tenants
+//    through submit+pump cycles at kIngestOnly-free steady state; the
+//    end-to-end per-flush cost of dispatch, session upkeep, and the
+//    drain loop (analysis excluded via an empty-window-short stream).
+//  - BM_DaemonOverloadShed: 4x more tenants than mailbox slots with a
+//    tiny drain batch — the path a rejected or coalesced flush takes
+//    when the shard is saturated, which is exactly the code that must
+//    stay cheap for backpressure to protect the process.
+//
+// Gated in CI against BENCH_micro_ingest.json via compare_bench.py
+// --normalize BM_RefRadix2Scalar/65536 (see bench/ref_kernel.hpp).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ref_kernel.hpp"
+#include "service/daemon.hpp"
+#include "service/mailbox.hpp"
+#include "service/service.hpp"
+#include "trace/model.hpp"
+
+namespace {
+
+std::vector<ftio::trace::IoRequest> phase(double start, double burst,
+                                          int ranks) {
+  std::vector<ftio::trace::IoRequest> reqs;
+  reqs.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    reqs.push_back(
+        {r, start, start + burst, 50'000'000, ftio::trace::IoKind::kWrite});
+  }
+  return reqs;
+}
+
+ftio::service::ServiceOptions foreground_options() {
+  ftio::service::ServiceOptions options;
+  options.background = false;
+  options.shards = 1;
+  options.session.online.base.sampling_frequency = 2.0;
+  options.session.online.base.with_metrics = false;
+  return options;
+}
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  ftio::service::Mailbox mailbox(/*capacity=*/batch * 2,
+                                 /*coalesce_depth=*/batch * 2,
+                                 /*max_item_requests=*/4096);
+  const auto chunk = phase(0.0, 2.0, 8);
+  std::vector<ftio::service::Flush> out;
+  out.reserve(batch);
+  const auto now = ftio::service::Clock::now();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      auto copy = chunk;
+      benchmark::DoNotOptimize(
+          mailbox.push("tenant", std::move(copy), now));
+    }
+    out.clear();
+    benchmark::DoNotOptimize(
+        mailbox.pop_batch(out, batch, std::chrono::milliseconds(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MailboxPushPop)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_MailboxCoalesce(benchmark::State& state) {
+  const auto pushes = static_cast<std::size_t>(state.range(0));
+  // coalesce_depth 1: every push after the first merges into the queued
+  // item, so the loop measures the merge scan, not emplacement.
+  ftio::service::Mailbox mailbox(/*capacity=*/4, /*coalesce_depth=*/1,
+                                 /*max_item_requests=*/1'000'000'000);
+  const auto chunk = phase(0.0, 2.0, 8);
+  std::vector<ftio::service::Flush> out;
+  const auto now = ftio::service::Clock::now();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pushes; ++i) {
+      auto copy = chunk;
+      benchmark::DoNotOptimize(
+          mailbox.push("tenant", std::move(copy), now));
+    }
+    out.clear();
+    mailbox.pop_batch(out, 4, std::chrono::milliseconds(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pushes));
+}
+BENCHMARK(BM_MailboxCoalesce)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_DaemonSteadyIngest(benchmark::State& state) {
+  const auto tenants = static_cast<int>(state.range(0));
+  const int flushes = 8;
+  std::vector<std::string> names;
+  for (int t = 0; t < tenants; ++t) names.push_back("tenant-" + std::to_string(t));
+  const auto chunk = phase(0.0, 2.0, 8);
+  for (auto _ : state) {
+    ftio::service::IngestDaemon daemon(foreground_options());
+    for (int f = 0; f < flushes; ++f) {
+      for (const auto& name : names) {
+        benchmark::DoNotOptimize(daemon.submit(
+            name, std::span<const ftio::trace::IoRequest>(chunk)));
+      }
+      daemon.pump();
+    }
+    daemon.stop();
+  }
+  state.SetItemsProcessed(state.iterations() * tenants * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * tenants * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DaemonSteadyIngest)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_DaemonOverloadShed(benchmark::State& state) {
+  const auto tenants = static_cast<int>(state.range(0));
+  auto options = foreground_options();
+  options.mailbox_capacity = static_cast<std::size_t>(tenants) / 4;
+  options.drain_batch = 1;
+  std::vector<std::string> names;
+  for (int t = 0; t < tenants; ++t) names.push_back("tenant-" + std::to_string(t));
+  const auto chunk = phase(0.0, 2.0, 8);
+  double rejected = 0.0;
+  for (auto _ : state) {
+    ftio::service::IngestDaemon daemon(options);
+    for (int round = 0; round < 4; ++round) {
+      for (const auto& name : names) {
+        benchmark::DoNotOptimize(daemon.submit(
+            name, std::span<const ftio::trace::IoRequest>(chunk)));
+      }
+      daemon.pump();
+    }
+    const auto total = daemon.stats().total();
+    rejected = static_cast<double>(total.rejected_queue_full);
+    daemon.stop();
+  }
+  state.SetItemsProcessed(state.iterations() * tenants * 4);
+  state.counters["rejected"] = rejected;
+}
+BENCHMARK(BM_DaemonOverloadShed)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Frozen cross-machine gate pivot (see bench/ref_kernel.hpp).
+FTIO_REGISTER_REF_KERNEL_BENCH();
+
+BENCHMARK_MAIN();

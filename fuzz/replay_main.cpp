@@ -7,6 +7,7 @@
 // Usage: fuzz_corpus_replay <corpus-root>
 //   <corpus-root>/trace_formats/*  -> ftio_fuzz_trace_formats
 //   <corpus-root>/pipeline/*       -> ftio_fuzz_pipeline
+//   <corpus-root>/service/*        -> ftio_fuzz_service
 
 #include <algorithm>
 #include <cstdint>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "fuzz/harness_pipeline.hpp"
+#include "fuzz/harness_service.hpp"
 #include "fuzz/harness_trace_formats.hpp"
 
 namespace {
@@ -65,6 +67,8 @@ int main(int argc, char** argv) {
                                "trace_formats");
   replayed += replay_directory(root / "pipeline",
                                ftio::fuzz::ftio_fuzz_pipeline, "pipeline");
+  replayed += replay_directory(root / "service",
+                               ftio::fuzz::ftio_fuzz_service, "service");
   if (replayed == 0) {
     std::fprintf(stderr, "fuzz_corpus_replay: no corpus files under %s\n",
                  root.string().c_str());

@@ -1,0 +1,448 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+#include "util/failpoints.hpp"
+
+namespace ftio::service {
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Shard::Shard(std::size_t index, const ServiceOptions& options)
+    : index_(index),
+      options_(options),
+      high_depth_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(
+                 options.ladder.high_watermark *
+                 static_cast<double>(options.mailbox_capacity))))),
+      low_depth_(static_cast<std::size_t>(
+          options.ladder.low_watermark *
+          static_cast<double>(options.mailbox_capacity))),
+      mailbox_(options.mailbox_capacity, options.coalesce_depth,
+               options.max_item_requests) {
+  FTIO_CONTRACT(options.ladder.low_watermark <= options.ladder.high_watermark,
+                "ladder watermarks must satisfy low <= high");
+}
+
+Shard::~Shard() { stop(); }
+
+Admission Shard::submit(std::string_view tenant,
+                        std::vector<ftio::trace::IoRequest>&& requests) {
+  Admission admission;
+  if (poisoned(tenant)) {
+    admission = Admission::kRejectedPoisoned;
+  } else {
+    admission = mailbox_.push(tenant, std::move(requests), Clock::now());
+  }
+  const ftio::util::LockGuard lock(stats_mutex_);
+  ++stats_.submitted;
+  switch (admission) {
+    case Admission::kAccepted: ++stats_.accepted; break;
+    case Admission::kCoalesced: ++stats_.coalesced; break;
+    case Admission::kRejectedQueueFull: ++stats_.rejected_queue_full; break;
+    case Admission::kRejectedPoisoned: ++stats_.rejected_poisoned; break;
+    case Admission::kRejectedStopped: ++stats_.rejected_stopped; break;
+    case Admission::kRejectedMalformed: break;  // decided in the daemon
+  }
+  return admission;
+}
+
+void Shard::start() {
+  FTIO_CONTRACT(!started_, "Shard::start called twice");
+  started_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+void Shard::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  mailbox_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t Shard::pump() {
+  FTIO_CONTRACT(!started_, "Shard::pump on a background shard");
+  std::vector<Flush> batch;
+  mailbox_.pop_batch(batch, options_.drain_batch,
+                     std::chrono::milliseconds(0));
+  return drain_guarded(batch);
+}
+
+void Shard::run() {
+  std::vector<Flush> batch;
+  while (true) {
+    batch.clear();
+    const bool stopping = stopping_.load(std::memory_order_relaxed);
+    const std::size_t popped = mailbox_.pop_batch(
+        batch, options_.drain_batch,
+        stopping ? std::chrono::milliseconds(0)
+                 : std::chrono::milliseconds(50));
+    if (popped == 0 && stopping) break;
+    drain_guarded(batch);
+  }
+}
+
+std::size_t Shard::drain_guarded(std::vector<Flush>& batch) {
+  const std::size_t items = batch.size();
+  CycleDelta delta;
+  try {
+    drain(batch, delta);
+  } catch (...) {
+    // Crash-only: whatever the cycle corrupted lives in shard-thread
+    // state, so the recovery is to throw that state away wholesale and
+    // carry on from the mailbox. The exception itself is deliberately
+    // not inspected — this is the handler of last resort.
+    restart();
+    ++delta.counters.shard_restarts;
+  }
+  delta.counters.tenants = tenants_.size();
+  delta.counters.live_sessions = live_sessions_;
+  {
+    const ftio::util::LockGuard lock(stats_mutex_);
+    delta.fold_into(stats_);
+  }
+  completed_items_.fetch_add(items, std::memory_order_release);
+  return items;
+}
+
+void Shard::drain(std::vector<Flush>& batch, CycleDelta& delta) {
+  if (FTIO_FAILPOINT("service.shard_crash")) {
+    throw std::runtime_error("failpoint: service.shard_crash");
+  }
+  update_ladder(batch.size() + mailbox_.depth(), delta);
+  ++cycle_;
+  due_.clear();
+  const DegradationLevel level = this->level();
+  for (Flush& flush : batch) process_flush(flush, level, delta);
+  run_due_analyses(level, delta);
+  evict_idle(delta);
+}
+
+void Shard::update_ladder(std::size_t backlog, CycleDelta& delta) {
+  DegradationLevel level = this->level();
+  if (backlog >= high_depth_) {
+    calm_cycles_ = 0;
+    if (level != DegradationLevel::kIngestOnly) {
+      level = static_cast<DegradationLevel>(
+          static_cast<std::uint8_t>(level) + 1);
+      ++delta.counters.ladder_step_downs;
+    }
+  } else if (backlog <= low_depth_ && level != DegradationLevel::kFull) {
+    if (++calm_cycles_ >= options_.ladder.recovery_cycles) {
+      level =
+          static_cast<DegradationLevel>(static_cast<std::uint8_t>(level) - 1);
+      ++delta.counters.ladder_step_ups;
+      calm_cycles_ = 0;
+    }
+  } else {
+    // The hysteresis band (and the calm band at kFull): hold.
+    calm_cycles_ = 0;
+  }
+  level_.store(level, std::memory_order_relaxed);
+}
+
+void Shard::process_flush(Flush& flush, DegradationLevel level,
+                          CycleDelta& delta) {
+  const auto started = Clock::now();
+  if (FTIO_FAILPOINT("service.slow_shard")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ++delta.counters.processed_items;
+  delta.counters.processed_requests += flush.requests.size();
+  delta.counters.queue_wait.record_seconds(
+      seconds_between(flush.enqueued, started));
+
+  Tenant& tenant = touch(flush.tenant);
+  if (tenant.poisoned) {
+    // Admitted before the quarantine landed; drop without touching
+    // anything (the tenant has no session to corrupt).
+    ++delta.counters.dropped_poisoned_flushes;
+  } else if (ingest_into(tenant, flush, delta)) {
+    if (level == DegradationLevel::kIngestOnly) {
+      ++delta.counters.dropped_ingest_only;
+    } else if (options_.work_deadline_seconds > 0.0 &&
+               seconds_between(flush.enqueued, started) >
+                   options_.work_deadline_seconds) {
+      // Stale work: the data still entered the curve (analysis windows
+      // to come must see it), but its own analysis slot is forfeit.
+      ++delta.counters.deadline_expired;
+    } else {
+      ++tenant.flushes_since_analysis;
+      const std::size_t stride =
+          level == DegradationLevel::kTriageOnly
+              ? std::max<std::size_t>(1, options_.ladder.triage_stride)
+              : 1;
+      if (tenant.flushes_since_analysis < stride) {
+        ++delta.counters.stride_skips;
+      } else if (tenant.due_cycle == cycle_) {
+        // Several queued flushes of one tenant collapse into one
+        // analysis per drain cycle — backpressure coalescing at the
+        // analysis tier.
+        ++delta.counters.coalesced_analyses;
+      } else {
+        tenant.due_cycle = cycle_;
+        due_.push_back(&tenant);
+      }
+    }
+  }
+  delta.counters.process_time.record_seconds(
+      seconds_between(started, Clock::now()));
+}
+
+bool Shard::ingest_into(Tenant& tenant, Flush& flush, CycleDelta& delta) {
+  try {
+    if (tenant.session == nullptr) {
+      if (FTIO_FAILPOINT("service.alloc")) throw std::bad_alloc();
+      tenant.pending.insert(tenant.pending.end(),
+                            std::make_move_iterator(flush.requests.begin()),
+                            std::make_move_iterator(flush.requests.end()));
+      if (tenant.pending.size() < options_.materialize_after_requests) {
+        ++delta.counters.deferred_flushes;
+        return false;
+      }
+      tenant.session = std::make_unique<ftio::engine::StreamingSession>(
+          options_.session);
+      ++live_sessions_;
+      ++delta.counters.sessions_built;
+      tenant.session->ingest(tenant.pending);
+      tenant.pending.clear();
+      tenant.pending.shrink_to_fit();
+    } else {
+      if (FTIO_FAILPOINT("service.session_throw")) {
+        throw std::runtime_error("failpoint: service.session_throw");
+      }
+      tenant.session->ingest(flush.requests);
+    }
+    return true;
+  } catch (const std::exception&) {
+    if (tenant.session == nullptr) {
+      // Build failure: the pending buffer survives, so the next flush
+      // retries — but not forever (a deterministic failure would spin).
+      ++tenant.build_failures;
+      ++delta.counters.session_build_failures;
+      if (tenant.build_failures >= options_.max_build_failures) {
+        poison(tenant, delta);
+      }
+    } else {
+      // A session that threw mid-ingest holds state of unknown
+      // integrity; quarantine it rather than analyse garbage.
+      poison(tenant, delta);
+    }
+    return false;
+  }
+}
+
+void Shard::run_due_analyses(DegradationLevel level, CycleDelta& delta) {
+  // A tenant queued here by an early flush can be poisoned by a later
+  // flush of the same cycle (its session is gone); quarantine wins.
+  due_.erase(std::remove_if(due_.begin(), due_.end(),
+                            [](const Tenant* t) { return t->poisoned; }),
+             due_.end());
+  if (due_.empty()) return;
+  // Equal last-analysis sample counts mean equal window lengths with
+  // high likelihood, and equal lengths share FFT plans: sorting the due
+  // set runs them back to back into the warm plan cache (the shard-level
+  // form of the engine's same-length batch grouping). Name tie-break
+  // keeps the order deterministic.
+  std::sort(due_.begin(), due_.end(), [](const Tenant* a, const Tenant* b) {
+    if (a->last_sample_count != b->last_sample_count) {
+      return a->last_sample_count < b->last_sample_count;
+    }
+    return *a->name < *b->name;
+  });
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= due_.size(); ++i) {
+    if (i < due_.size() &&
+        due_[i]->last_sample_count == due_[run_start]->last_sample_count) {
+      continue;
+    }
+    ++delta.counters.analysis_groups;
+    if (i - run_start >= 2) delta.counters.grouped_analyses += i - run_start;
+    run_start = i;
+  }
+  for (Tenant* tenant : due_) analyze(*tenant, level, delta);
+}
+
+void Shard::analyze(Tenant& tenant, DegradationLevel level,
+                    CycleDelta& delta) {
+  FTIO_ASSERT(tenant.session != nullptr);
+  if (!take_token(tenant)) {
+    ++delta.counters.budget_skips;
+    return;
+  }
+  apply_level(tenant, level);
+  try {
+    if (FTIO_FAILPOINT("service.session_throw")) {
+      throw std::runtime_error("failpoint: service.session_throw");
+    }
+    const ftio::core::Prediction prediction = tenant.session->predict();
+    tenant.flushes_since_analysis = 0;
+    tenant.last_sample_count = prediction.sample_count;
+    ++delta.counters.analyses;
+    ++delta.counters.analyses_at_level[static_cast<std::size_t>(level)];
+    publish(tenant, prediction);
+  } catch (const ftio::util::InvalidArgument&) {
+    // The documented benign rejection: the selected window holds no
+    // data yet. The flush counter is left alone so the tenant retries
+    // on its next flush.
+    ++delta.counters.empty_window_analyses;
+  } catch (const std::exception&) {
+    poison(tenant, delta);
+  }
+}
+
+void Shard::apply_level(Tenant& tenant, DegradationLevel level) {
+  const bool reduced = level == DegradationLevel::kReduced ||
+                       level == DegradationLevel::kTriageOnly;
+  if (reduced == tenant.reduced_detectors) return;
+  tenant.session->set_detectors(reduced
+                                    ? options_.ladder.reduced_detectors
+                                    : options_.session.online.base.detectors);
+  tenant.reduced_detectors = reduced;
+}
+
+bool Shard::take_token(Tenant& tenant) {
+  const BudgetOptions& budget = options_.budget;
+  if (budget.burst <= 0.0) return true;
+  const auto now = Clock::now();
+  if (!tenant.bucket_primed) {
+    tenant.tokens = budget.burst;
+    tenant.last_refill = now;
+    tenant.bucket_primed = true;
+  }
+  tenant.tokens = std::min(
+      budget.burst, tenant.tokens + seconds_between(tenant.last_refill, now) *
+                                        budget.analyses_per_second);
+  tenant.last_refill = now;
+  if (tenant.tokens < 1.0) return false;
+  tenant.tokens -= 1.0;
+  return true;
+}
+
+Shard::Tenant& Shard::touch(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.try_emplace(name).first;
+    Tenant& tenant = it->second;
+    tenant.name = &it->first;
+    tenant.lru_position = lru_.insert(lru_.end(), &tenant);
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru_position);
+  }
+  it->second.last_cycle = cycle_;
+  return it->second;
+}
+
+void Shard::evict_idle(CycleDelta& delta) {
+  while (tenants_.size() > options_.max_tenants_per_shard) {
+    Tenant* victim = lru_.front();
+    // Never evict a tenant this very cycle touched: the due_ list holds
+    // raw pointers into the map.
+    if (victim->last_cycle == cycle_) break;
+    {
+      const ftio::util::LockGuard lock(board_mutex_);
+      board_.erase(*victim->name);
+    }
+    if (victim->session != nullptr) --live_sessions_;
+    ++delta.counters.evicted_idle;
+    lru_.pop_front();
+    tenants_.erase(tenants_.find(*victim->name));
+  }
+}
+
+void Shard::poison(Tenant& tenant, CycleDelta& delta) {
+  if (tenant.session != nullptr) --live_sessions_;
+  tenant.session.reset();
+  tenant.pending.clear();
+  tenant.pending.shrink_to_fit();
+  tenant.poisoned = true;
+  ++delta.counters.poisoned_sessions;
+  const ftio::util::LockGuard lock(board_mutex_);
+  poisoned_board_.insert(*tenant.name);
+  board_.erase(*tenant.name);
+}
+
+void Shard::publish(const Tenant& tenant,
+                    const ftio::core::Prediction& prediction) {
+  const ftio::util::LockGuard lock(board_mutex_);
+  board_[*tenant.name] = prediction;
+}
+
+void Shard::restart() {
+  due_.clear();
+  lru_.clear();
+  tenants_.clear();
+  live_sessions_ = 0;
+  // The quarantine and results boards survive on purpose: poisoning is
+  // an admission-side promise, and stale predictions beat lost ones.
+}
+
+ShardStats Shard::stats() const {
+  ShardStats snapshot;
+  {
+    const ftio::util::LockGuard lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.level = level();
+  snapshot.queue_depth = mailbox_.depth();
+  snapshot.queue_max_depth = mailbox_.max_depth();
+  snapshot.queue_capacity = mailbox_.capacity();
+  return snapshot;
+}
+
+std::optional<ftio::core::Prediction> Shard::last_prediction(
+    std::string_view tenant) const {
+  const ftio::util::LockGuard lock(board_mutex_);
+  const auto it = board_.find(tenant);
+  if (it == board_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Shard::poisoned(std::string_view tenant) const {
+  const ftio::util::LockGuard lock(board_mutex_);
+  return poisoned_board_.contains(tenant);
+}
+
+void Shard::CycleDelta::fold_into(ShardStats& stats) const {
+  stats.processed_items += counters.processed_items;
+  stats.processed_requests += counters.processed_requests;
+  stats.deferred_flushes += counters.deferred_flushes;
+  stats.sessions_built += counters.sessions_built;
+  stats.session_build_failures += counters.session_build_failures;
+  stats.analyses += counters.analyses;
+  for (std::size_t i = 0; i < kDegradationLevels; ++i) {
+    stats.analyses_at_level[i] += counters.analyses_at_level[i];
+  }
+  stats.analysis_groups += counters.analysis_groups;
+  stats.grouped_analyses += counters.grouped_analyses;
+  stats.coalesced_analyses += counters.coalesced_analyses;
+  stats.stride_skips += counters.stride_skips;
+  stats.budget_skips += counters.budget_skips;
+  stats.deadline_expired += counters.deadline_expired;
+  stats.empty_window_analyses += counters.empty_window_analyses;
+  stats.dropped_ingest_only += counters.dropped_ingest_only;
+  stats.poisoned_sessions += counters.poisoned_sessions;
+  stats.dropped_poisoned_flushes += counters.dropped_poisoned_flushes;
+  stats.evicted_idle += counters.evicted_idle;
+  stats.shard_restarts += counters.shard_restarts;
+  stats.ladder_step_downs += counters.ladder_step_downs;
+  stats.ladder_step_ups += counters.ladder_step_ups;
+  stats.tenants = counters.tenants;
+  stats.live_sessions = counters.live_sessions;
+  stats.queue_wait.merge(counters.queue_wait);
+  stats.process_time.merge(counters.process_time);
+}
+
+}  // namespace ftio::service

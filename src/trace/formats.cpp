@@ -7,6 +7,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/failpoints.hpp"
 #include "util/json.hpp"
 #include "util/msgpack.hpp"
 
@@ -61,6 +62,24 @@ void apply_record(const Json& record, Trace& out) {
   // Other types (e.g. "flush") carry no request data; skip them.
 }
 
+/// kSkipBad wrapper around apply_record: a malformed record (or a
+/// trace.parse_garbage failpoint firing) is counted instead of thrown.
+/// Only ParseError is recoverable — anything else is a library bug, not
+/// dirty input, and must keep propagating.
+void apply_record_with_policy(const Json& record, Trace& out,
+                              ParsePolicy policy, ParseStats& stats) {
+  try {
+    if (FTIO_FAILPOINT("trace.parse_garbage")) {
+      throw ftio::util::ParseError("failpoint: trace.parse_garbage");
+    }
+    apply_record(record, out);
+    ++stats.records;
+  } catch (const ftio::util::ParseError&) {
+    if (policy == ParsePolicy::kStrict) throw;
+    ++stats.skipped;
+  }
+}
+
 }  // namespace
 
 std::string to_jsonl(const Trace& trace) {
@@ -73,8 +92,10 @@ std::string to_jsonl(const Trace& trace) {
   return out;
 }
 
-Trace from_jsonl(std::string_view text) {
+Trace from_jsonl(std::string_view text, ParsePolicy policy,
+                 ParseStats* stats) {
   Trace out;
+  ParseStats local;
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
@@ -83,8 +104,17 @@ Trace from_jsonl(std::string_view text) {
                                 : text.substr(pos, eol - pos);
     pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
     if (line.empty()) continue;
-    apply_record(Json::parse(line), out);
+    // Parsing the line and applying the record are one recoverable unit:
+    // JSONL resynchronises at the next newline, so a bad line never
+    // costs more than itself.
+    try {
+      apply_record_with_policy(Json::parse(line), out, policy, local);
+    } catch (const ftio::util::ParseError&) {
+      if (policy == ParsePolicy::kStrict) throw;
+      ++local.skipped;
+    }
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 
@@ -97,11 +127,29 @@ std::vector<std::uint8_t> to_msgpack(const Trace& trace) {
   return out;
 }
 
-Trace from_msgpack(std::span<const std::uint8_t> bytes) {
+Trace from_msgpack(std::span<const std::uint8_t> bytes, ParsePolicy policy,
+                   ParseStats* stats) {
   Trace out;
-  for (const auto& record : ftio::util::msgpack::decode_stream(bytes)) {
-    apply_record(record, out);
+  ParseStats local;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t consumed = 0;
+    Json record;
+    // A framing error leaves no way to find the next document boundary
+    // (MessagePack is length-prefixed, not line-delimited), so under
+    // kSkipBad the rest of the buffer is dropped as one skipped record.
+    try {
+      record = ftio::util::msgpack::decode(bytes.subspan(pos), consumed);
+    } catch (const ftio::util::ParseError&) {
+      if (policy == ParsePolicy::kStrict) throw;
+      ++local.skipped;
+      break;
+    }
+    if (consumed == 0) break;  // defensive: decode must consume or throw
+    pos += consumed;
+    apply_record_with_policy(record, out, policy, local);
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 
@@ -149,7 +197,8 @@ std::string to_recorder_csv(const Trace& trace) {
   return ftio::util::write_csv(table);
 }
 
-Trace from_recorder_csv(std::string_view text) {
+Trace from_recorder_csv(std::string_view text, ParsePolicy policy,
+                        ParseStats* stats) {
   const auto table = ftio::util::parse_csv(text);
   const auto c_rank = table.column("rank");
   const auto c_start = table.column("start");
@@ -158,21 +207,34 @@ Trace from_recorder_csv(std::string_view text) {
   const auto c_op = table.column("op");
 
   Trace out;
+  ParseStats local;
   int max_rank = -1;
   for (const auto& row : table.rows) {
-    IoRequest r;
-    r.rank = static_cast<int>(parse_double_field(row[c_rank]));
-    r.start = parse_double_field(row[c_start]);
-    r.end = parse_double_field(row[c_end]);
-    r.bytes = parse_u64_field(row[c_bytes]);
-    r.kind = row[c_op] == "read" ? IoKind::kRead : IoKind::kWrite;
-    if (r.end < r.start) {
-      throw ftio::util::ParseError("csv: request with end < start");
+    // Rows are independent, so a bad field recovers row-wise under
+    // kSkipBad; only the header lookup above stays fatal.
+    try {
+      if (FTIO_FAILPOINT("trace.parse_garbage")) {
+        throw ftio::util::ParseError("failpoint: trace.parse_garbage");
+      }
+      IoRequest r;
+      r.rank = static_cast<int>(parse_double_field(row[c_rank]));
+      r.start = parse_double_field(row[c_start]);
+      r.end = parse_double_field(row[c_end]);
+      r.bytes = parse_u64_field(row[c_bytes]);
+      r.kind = row[c_op] == "read" ? IoKind::kRead : IoKind::kWrite;
+      if (r.end < r.start) {
+        throw ftio::util::ParseError("csv: request with end < start");
+      }
+      max_rank = std::max(max_rank, r.rank);
+      out.requests.push_back(r);
+      ++local.records;
+    } catch (const ftio::util::ParseError&) {
+      if (policy == ParsePolicy::kStrict) throw;
+      ++local.skipped;
     }
-    max_rank = std::max(max_rank, r.rank);
-    out.requests.push_back(r);
   }
   out.rank_count = max_rank + 1;
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

@@ -10,6 +10,26 @@
 
 namespace ftio::trace {
 
+/// How the record-stream parsers treat a malformed record.
+enum class ParsePolicy {
+  /// Throw util::ParseError on the first bad record (the offline-tool
+  /// default: a corrupt file should be noticed, not silently truncated).
+  kStrict,
+  /// Skip the bad record, count it, and keep parsing. The long-running
+  /// ingest daemon uses this so one garbage line in a tenant's stream
+  /// costs that record only, never the flush or the shard. A framing
+  /// error in a length-prefixed format (MessagePack) still abandons the
+  /// rest of the buffer — there is no way to resynchronise — but is
+  /// reported through the stats instead of thrown.
+  kSkipBad,
+};
+
+/// Record counts of one recoverable parse (ParsePolicy::kSkipBad).
+struct ParseStats {
+  std::size_t records = 0;  ///< records applied to the trace
+  std::size_t skipped = 0;  ///< malformed records dropped
+};
+
 // ---------------------------------------------------------------------------
 // TMIO native formats (Sec. II-A: "JSON Lines or MessagePack")
 // ---------------------------------------------------------------------------
@@ -21,15 +41,24 @@ namespace ftio::trace {
 std::string to_jsonl(const Trace& trace);
 
 /// Parses TMIO JSON Lines. Unknown record types are skipped so the format
-/// can grow (e.g. the online mode's flush markers).
-Trace from_jsonl(std::string_view text);
+/// can grow (e.g. the online mode's flush markers). Under kSkipBad a
+/// malformed line is dropped and counted in `stats` instead of aborting
+/// the parse.
+Trace from_jsonl(std::string_view text,
+                 ParsePolicy policy = ParsePolicy::kStrict,
+                 ParseStats* stats = nullptr);
 
 /// Serialises a trace as a stream of MessagePack documents carrying the
 /// same records as the JSONL form.
 std::vector<std::uint8_t> to_msgpack(const Trace& trace);
 
-/// Parses a MessagePack trace stream.
-Trace from_msgpack(std::span<const std::uint8_t> bytes);
+/// Parses a MessagePack trace stream. Under kSkipBad a record whose
+/// decoded document is malformed is dropped and counted; a framing error
+/// (undecodable bytes) drops the remainder of the buffer as one skipped
+/// record.
+Trace from_msgpack(std::span<const std::uint8_t> bytes,
+                   ParsePolicy policy = ParsePolicy::kStrict,
+                   ParseStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Recorder-like per-request CSV (Sec. II-A: "we support Recorder")
@@ -37,7 +66,11 @@ Trace from_msgpack(std::span<const std::uint8_t> bytes);
 
 /// CSV with columns rank,start,end,bytes,op (op in {write, read}).
 std::string to_recorder_csv(const Trace& trace);
-Trace from_recorder_csv(std::string_view text);
+/// Under kSkipBad a malformed row is dropped and counted; a missing
+/// header column still throws (nothing row-local to recover).
+Trace from_recorder_csv(std::string_view text,
+                        ParsePolicy policy = ParsePolicy::kStrict,
+                        ParseStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Darshan-like heatmap (Sec. III-B b: FTIO "extracted the heatmap from [the]

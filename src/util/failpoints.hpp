@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// Deterministic fault-injection framework (the chaos-testing layer the
+/// ingest daemon's recovery paths are exercised with). A *failpoint* is a
+/// named site in library code where a test can inject a failure — an
+/// allocation error, a garbage parse record, a slow or crashing shard —
+/// without monkey-patching or timing games. Each site is spelled
+///
+///   if (FTIO_FAILPOINT("service.session_throw")) throw ...;
+///
+/// and fires only when a test armed that name with a probability and an
+/// RNG seed: the per-failpoint generator makes every firing sequence a
+/// pure function of (seed, evaluation order), so a chaos run that found a
+/// bug replays exactly. In builds without FTIO_ENABLE_FAILPOINTS (plain
+/// Release) the macro is the constant `false` and the site compiles to
+/// nothing; the registry functions below stay linkable so tests can probe
+/// compiled_in() and skip their armed sections.
+///
+/// Failpoint names currently wired into the library (see the call sites
+/// for exact semantics):
+///   service.alloc          admission buffering / session build throws
+///                          std::bad_alloc
+///   service.session_throw  a session predict() throws runtime_error
+///   service.slow_shard     the shard worker stalls ~1 ms on one item
+///   service.shard_crash    the shard drain cycle throws (crash-only
+///                          restart path)
+///   service.queue_overflow the mailbox reports full on a push
+///   trace.parse_garbage    a kSkipBad parse treats one record as
+///                          malformed
+namespace ftio::util::failpoints {
+
+/// True when the library was compiled with FTIO_ENABLE_FAILPOINTS (the
+/// call sites are live). arm/disarm still work when false — the armed
+/// state is simply never consulted.
+bool compiled_in();
+
+/// Arms `name`: every evaluation fires with `probability` (clamped to
+/// [0, 1]), drawn from a generator seeded with `seed`. Re-arming resets
+/// the generator and the counters.
+void arm(std::string_view name, double probability, std::uint64_t seed);
+
+/// Disarms one failpoint / all failpoints (counters reset).
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Number of times `name` fired / was evaluated since armed.
+std::size_t fire_count(std::string_view name);
+std::size_t evaluation_count(std::string_view name);
+
+/// The macro's backend: true when `name` is armed and its draw fires.
+/// Thread-safe; unarmed names return false without counting.
+bool should_fire(std::string_view name);
+
+}  // namespace ftio::util::failpoints
+
+#if defined(FTIO_ENABLE_FAILPOINTS)
+#define FTIO_FAILPOINT(name) (::ftio::util::failpoints::should_fire(name))
+#else
+#define FTIO_FAILPOINT(name) false
+#endif

@@ -314,6 +314,52 @@ TEST(Jsonl, RejectsCorruptRecords) {
       ftio::util::ParseError);
 }
 
+TEST(Jsonl, SkipBadDropsAndCountsMalformedRecords) {
+  const std::string text =
+      "{\"type\":\"meta\",\"app\":\"x\",\"ranks\":1}\n"
+      "not json at all\n"
+      "{\"type\":\"io\",\"kind\":\"write\",\"rank\":0,\"start\":0.0,"
+      "\"end\":1.0,\"bytes\":10}\n"
+      "{\"type\":\"io\",\"kind\":\"write\",\"rank\":0,\"start\":2.0,"
+      "\"end\":1.0,\"bytes\":1}\n"
+      "{\"type\":\"io\",\"kind\":\"read\",\"rank\":0,\"start\":1.0,"
+      "\"end\":2.0,\"bytes\":20}\n";
+  tr::ParseStats stats;
+  const auto t = tr::from_jsonl(text, tr::ParsePolicy::kSkipBad, &stats);
+  ASSERT_EQ(t.requests.size(), 2u);  // the garbage line and end<start drop
+  EXPECT_EQ(t.app, "x");
+  EXPECT_EQ(stats.records, 3u);  // meta + two good io records
+  EXPECT_EQ(stats.skipped, 2u);
+}
+
+TEST(MsgpackTrace, SkipBadDropsBufferTailOnFramingError) {
+  auto t = overlap_trace();
+  auto bytes = tr::to_msgpack(t);
+  // A corrupt byte mid-stream is a framing error: no resynchronisation
+  // is possible, so the remainder drops as one skipped record.
+  bytes.push_back(0xc1);  // the one reserved/never-used msgpack byte
+  tr::ParseStats stats;
+  const auto back = tr::from_msgpack(bytes, tr::ParsePolicy::kSkipBad, &stats);
+  EXPECT_EQ(back.requests.size(), t.requests.size());
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_THROW(static_cast<void>(tr::from_msgpack(bytes)),
+               ftio::util::ParseError);
+}
+
+TEST(RecorderCsv, SkipBadDropsAndCountsMalformedRows) {
+  const std::string csv =
+      "rank,start,end,bytes,op\n"
+      "0,0.0,1.0,1048576,write\n"
+      "0,abc,1,1,write\n"
+      "1,0.25,0.75,2097152,read\n";
+  tr::ParseStats stats;
+  const auto t =
+      tr::from_recorder_csv(csv, tr::ParsePolicy::kSkipBad, &stats);
+  ASSERT_EQ(t.requests.size(), 2u);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // MessagePack round trip
 // ---------------------------------------------------------------------------
