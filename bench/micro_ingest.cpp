@@ -14,17 +14,28 @@
 //    tiny drain batch — the path a rejected or coalesced flush takes
 //    when the shard is saturated, which is exactly the code that must
 //    stay cheap for backpressure to protect the process.
+//  - BM_DurabilityJournalAppend: BM_DaemonSteadyIngest with the
+//    write-ahead journal on — the durability tax per acked flush.
+//  - BM_DurabilityRecoveryReplay: crash-only restart over a journal of
+//    64 acked flushes (scan + CRC verify + re-ingest).
+//  - BM_DurabilitySnapshotRoundTrip: checkpoint serialize + restore of
+//    one populated session, the per-tenant checkpoint cost.
 //
 // Gated in CI against BENCH_micro_ingest.json via compare_bench.py
 // --normalize BM_RefRadix2Scalar/65536 (see bench/ref_kernel.hpp).
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "engine/streaming.hpp"
 #include "ref_kernel.hpp"
 #include "service/daemon.hpp"
 #include "service/mailbox.hpp"
@@ -148,6 +159,112 @@ void BM_DaemonOverloadShed(benchmark::State& state) {
   state.counters["rejected"] = rejected;
 }
 BENCHMARK(BM_DaemonOverloadShed)->Arg(64)->Unit(benchmark::kMillisecond);
+
+ftio::service::ServiceOptions durable_options(const std::filesystem::path& dir) {
+  auto options = foreground_options();
+  options.durability.enabled = true;
+  options.durability.directory = dir.string();
+  // Group-commit posture: measure the append/frame path, not the raw
+  // device sync latency (which would swamp the gate with device noise).
+  options.durability.fsync_every_records = 16;
+  options.durability.checkpoint_interval_cycles = 1'000'000;
+  options.durability.checkpoint_on_stop = false;
+  return options;
+}
+
+std::filesystem::path bench_dir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("ftio_bench_durability_" + std::string(tag) + "_" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// BM_DaemonSteadyIngest with the write-ahead journal on: the durability
+/// tax every acked flush pays (frame encode + CRC + buffered write, one
+/// fsync per 16 records).
+void BM_DurabilityJournalAppend(benchmark::State& state) {
+  const auto tenants = static_cast<int>(state.range(0));
+  const int flushes = 8;
+  const auto dir = bench_dir("append");
+  std::vector<std::string> names;
+  for (int t = 0; t < tenants; ++t) names.push_back("tenant-" + std::to_string(t));
+  const auto chunk = phase(0.0, 2.0, 8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    ftio::service::IngestDaemon daemon(durable_options(dir));
+    for (int f = 0; f < flushes; ++f) {
+      for (const auto& name : names) {
+        benchmark::DoNotOptimize(daemon.submit(
+            name, std::span<const ftio::trace::IoRequest>(chunk)));
+      }
+      daemon.pump();
+    }
+    daemon.stop();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * tenants * flushes);
+  state.counters["per_flush_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * tenants * flushes) * 1e-6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_DurabilityJournalAppend)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Crash-only restart cost: construct a daemon over a directory holding
+/// a journal of N acked flushes (no checkpoint) — scan, CRC-verify, and
+/// re-ingest every record. Recovery is read-only on a clean directory,
+/// so iterations see identical state.
+void BM_DurabilityRecoveryReplay(benchmark::State& state) {
+  const auto flushes = static_cast<int>(state.range(0));
+  const auto dir = bench_dir("replay");
+  const auto options = durable_options(dir);
+  {
+    ftio::service::IngestDaemon writer(options);
+    for (int f = 0; f < flushes; ++f) {
+      writer.submit("tenant-0", phase(f * 30.0, 2.0, 8));
+      writer.pump();
+    }
+    writer.stop();
+  }
+  for (auto _ : state) {
+    ftio::service::IngestDaemon daemon(options);
+    benchmark::DoNotOptimize(daemon.stats().total().recovery.records_replayed);
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * flushes);
+}
+BENCHMARK(BM_DurabilityRecoveryReplay)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// The checkpoint hot path in isolation: serialize_state of a populated
+/// session (what every checkpointed tenant costs) plus the restore
+/// (what recovery pays per snapshot).
+void BM_DurabilitySnapshotRoundTrip(benchmark::State& state) {
+  ftio::engine::StreamingOptions options;
+  options.online.base.sampling_frequency = 2.0;
+  options.online.base.with_metrics = false;
+  options.compaction.enabled = true;
+  options.triage.enabled = true;
+  options.engine.threads = 1;
+  ftio::engine::StreamingSession session(options);
+  for (int f = 0; f < 32; ++f) {
+    const auto chunk = phase(f * 30.0, 2.0, 8);
+    session.ingest(std::span<const ftio::trace::IoRequest>(chunk));
+  }
+  session.predict();
+  std::vector<std::uint8_t> blob;
+  for (auto _ : state) {
+    blob = session.serialize_state();
+    ftio::engine::StreamingSession restored(options);
+    restored.restore_state(blob);
+    benchmark::DoNotOptimize(restored.request_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+  state.counters["blob_bytes"] = static_cast<double>(blob.size());
+}
+BENCHMARK(BM_DurabilitySnapshotRoundTrip)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

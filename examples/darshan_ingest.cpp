@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   // pyDarshan); then treat the CSV file as the only data source.
   {
     const auto heatmap = ftio::workloads::generate_nek5000_heatmap();
-    ftio::util::write_text_file(path, ftio::trace::to_heatmap_csv(heatmap));
+    ftio::util::write_file_atomic(path, ftio::trace::to_heatmap_csv(heatmap));
     std::printf("wrote %s\n", path.c_str());
   }
 

@@ -40,11 +40,11 @@ Trace read_any(const std::filesystem::path& path) {
 void write_any(const Trace& trace, const std::filesystem::path& path) {
   const auto ext = path.extension().string();
   if (ext == ".jsonl") {
-    ftio::util::write_text_file(path, ftio::trace::to_jsonl(trace));
+    ftio::util::write_file_atomic(path, ftio::trace::to_jsonl(trace));
   } else if (ext == ".msgpack") {
-    ftio::util::write_binary_file(path, ftio::trace::to_msgpack(trace));
+    ftio::util::write_file_atomic(path, ftio::trace::to_msgpack(trace));
   } else if (ext == ".csv") {
-    ftio::util::write_text_file(path, ftio::trace::to_recorder_csv(trace));
+    ftio::util::write_file_atomic(path, ftio::trace::to_recorder_csv(trace));
   } else {
     throw ftio::util::InvalidArgument("unknown output extension: " + ext);
   }

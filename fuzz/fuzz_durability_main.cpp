@@ -1,0 +1,9 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness_durability.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ftio::fuzz::ftio_fuzz_durability(data, size);
+}

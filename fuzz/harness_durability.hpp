@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftio::fuzz {
+
+/// Fuzz entry point over the durability decoders — every parser that
+/// crash recovery feeds with bytes it must assume are damaged.
+///
+/// The first input byte selects the target, the rest is the payload:
+///   0  engine::StreamingSession::restore_state — arbitrary bytes either
+///      restore a session or throw ParseError; a successful restore must
+///      re-serialize to a stable image and keep ingesting.
+///   1  durability::parse_checkpoint — recover-or-reject per frame: a
+///      parsed checkpoint re-encodes and re-parses losslessly, and every
+///      embedded session blob again restores-or-rejects.
+///   2  durability::scan_journal_bytes — never throws at all; decoded
+///      records re-encode to a byte run the scanner reads back
+///      identically (the torn-tail truncation point is a pure function
+///      of the bytes).
+///
+/// ParseError is the contract, so it is caught; any other escape, a
+/// crash, or a violated round-trip property is a finding (abort).
+///
+/// Returns 0 (libFuzzer convention).
+int ftio_fuzz_durability(const std::uint8_t* data, std::size_t size);
+
+}  // namespace ftio::fuzz

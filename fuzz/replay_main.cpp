@@ -8,6 +8,7 @@
 //   <corpus-root>/trace_formats/*  -> ftio_fuzz_trace_formats
 //   <corpus-root>/pipeline/*       -> ftio_fuzz_pipeline
 //   <corpus-root>/service/*        -> ftio_fuzz_service
+//   <corpus-root>/durability/*     -> ftio_fuzz_durability
 
 #include <algorithm>
 #include <cstdint>
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/harness_durability.hpp"
 #include "fuzz/harness_pipeline.hpp"
 #include "fuzz/harness_service.hpp"
 #include "fuzz/harness_trace_formats.hpp"
@@ -69,6 +71,8 @@ int main(int argc, char** argv) {
                                ftio::fuzz::ftio_fuzz_pipeline, "pipeline");
   replayed += replay_directory(root / "service",
                                ftio::fuzz::ftio_fuzz_service, "service");
+  replayed += replay_directory(root / "durability",
+                               ftio::fuzz::ftio_fuzz_durability, "durability");
   if (replayed == 0) {
     std::fprintf(stderr, "fuzz_corpus_replay: no corpus files under %s\n",
                  root.string().c_str());

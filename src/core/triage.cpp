@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/binio.hpp"
 #include "util/error.hpp"
 
 namespace ftio::core {
@@ -114,6 +115,28 @@ TriageEstimate TriageFilterBank::estimate() const {
   // peak (centre bin plus its immediate neighbours).
   est.confidence = (ym + y0 + yp) / total;
   return est;
+}
+
+void TriageFilterBank::save_state(ftio::util::BinWriter& out) const {
+  out.f64_vec(mass_);
+  out.f64(first_time_);
+  out.f64(last_time_);
+  out.u64(observations_);
+}
+
+void TriageFilterBank::load_state(ftio::util::BinReader& in) {
+  std::vector<double> mass = in.f64_vec();
+  const double first_time = in.f64();
+  const double last_time = in.f64();
+  const std::uint64_t observations = in.u64();
+  if (mass.size() != periods_.size()) {
+    throw ftio::util::ParseError(
+        "TriageFilterBank: band count does not match this grid");
+  }
+  mass_ = std::move(mass);
+  first_time_ = first_time;
+  last_time_ = last_time;
+  observations_ = static_cast<std::size_t>(observations);
 }
 
 std::size_t TriageFilterBank::memory_bytes() const {

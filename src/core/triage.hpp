@@ -3,6 +3,11 @@
 #include <cstddef>
 #include <vector>
 
+namespace ftio::util {
+class BinWriter;
+class BinReader;
+}  // namespace ftio::util
+
 namespace ftio::core {
 
 /// Geometry and forgetting of the TriageFilterBank.
@@ -83,6 +88,17 @@ class TriageFilterBank {
 
   /// Resident bytes of the bank (fixed after construction).
   std::size_t memory_bytes() const;
+
+  /// Appends the mutable accumulator state (per-bin masses, stream
+  /// anchor/last times, observation count) to `out`. The grid itself
+  /// (periods, decay rates) is a pure function of TriageBankOptions and
+  /// is recomputed by the constructor, so load_state on a bank built
+  /// with the same options restores bit-identical estimates.
+  void save_state(ftio::util::BinWriter& out) const;
+  /// Restores state written by save_state; throws util::ParseError when
+  /// the input is truncated or its band count does not match this bank's
+  /// grid. The bank is unchanged on throw.
+  void load_state(ftio::util::BinReader& in);
 
  private:
   /// Decay-normalized deposit rate of bin i (mass * lambda): the

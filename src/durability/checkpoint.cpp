@@ -1,0 +1,251 @@
+#include "durability/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/binio.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/failpoints.hpp"
+#include "util/file.hpp"
+
+namespace ftio::durability {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'T', 'I', 'O', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+/// magic + version + floor + count, before the header CRC.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+constexpr std::size_t kRequestBytes = 4 * 8 + 1;
+
+void write_request(ftio::util::BinWriter& out,
+                   const ftio::trace::IoRequest& r) {
+  out.i64(r.rank);
+  out.f64(r.start);
+  out.f64(r.end);
+  out.u64(r.bytes);
+  out.u8(static_cast<std::uint8_t>(r.kind));
+}
+
+ftio::trace::IoRequest read_request(ftio::util::BinReader& in) {
+  ftio::trace::IoRequest r;
+  r.rank = static_cast<int>(in.i64());
+  r.start = in.f64();
+  r.end = in.f64();
+  r.bytes = in.u64();
+  const std::uint8_t kind = in.u8();
+  if (kind > 1) throw ftio::util::ParseError("checkpoint: bad IoKind");
+  r.kind = static_cast<ftio::trace::IoKind>(kind);
+  return r;
+}
+
+std::vector<std::uint8_t> encode_tenant(const TenantSnapshot& tenant) {
+  ftio::util::BinWriter out;
+  out.str(tenant.name);
+  out.boolean(tenant.poisoned);
+  out.u64(tenant.last_applied_seq);
+  out.u64(tenant.pending.size());
+  for (const auto& r : tenant.pending) write_request(out, r);
+  out.boolean(tenant.has_session);
+  out.blob(tenant.session_state);
+  return out.take();
+}
+
+TenantSnapshot decode_tenant(std::span<const std::uint8_t> payload) {
+  ftio::util::BinReader in(payload);
+  TenantSnapshot tenant;
+  tenant.name = in.str();
+  tenant.poisoned = in.boolean();
+  tenant.last_applied_seq = in.u64();
+  const std::size_t n = in.count(kRequestBytes);
+  tenant.pending.resize(n);
+  for (auto& r : tenant.pending) r = read_request(in);
+  tenant.has_session = in.boolean();
+  tenant.session_state = in.blob();
+  if (!in.done()) {
+    throw ftio::util::ParseError("checkpoint: trailing bytes in tenant");
+  }
+  return tenant;
+}
+
+std::string checkpoint_name(std::uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%020llu.ckpt",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool parse_checkpoint_name(const std::string& name, std::uint64_t& seq) {
+  if (name.size() != 36 || name.rfind("checkpoint-", 0) != 0 ||
+      name.compare(31, 5, ".ckpt") != 0) {
+    return false;
+  }
+  seq = 0;
+  for (std::size_t i = 11; i < 31; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointData& data) {
+  ftio::util::BinWriter out;
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kVersion);
+  out.u64(data.floor_seq);
+  out.u64(data.tenants.size());
+  out.u32(ftio::util::crc32c(out.bytes().data(), kHeaderBytes));
+  for (const auto& tenant : data.tenants) {
+    const std::vector<std::uint8_t> payload = encode_tenant(tenant);
+    out.u32(static_cast<std::uint32_t>(payload.size()));
+    out.u32(ftio::util::crc32c(payload.data(), payload.size()));
+    out.append(payload);
+  }
+  return out.take();
+}
+
+CheckpointData parse_checkpoint(std::span<const std::uint8_t> bytes,
+                                RecoveryStats& stats) {
+  if (bytes.size() < kHeaderBytes + sizeof(std::uint32_t)) {
+    throw ftio::util::ParseError("checkpoint: truncated header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw ftio::util::ParseError("checkpoint: bad magic");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + kHeaderBytes, sizeof(stored_crc));
+  if (ftio::util::crc32c(bytes.data(), kHeaderBytes) != stored_crc) {
+    throw ftio::util::ParseError("checkpoint: header CRC mismatch");
+  }
+  ftio::util::BinReader header(bytes.subspan(sizeof(kMagic)));
+  const std::uint32_t version = header.u32();
+  if (version != kVersion) {
+    throw ftio::util::ParseError("checkpoint: unsupported version");
+  }
+  CheckpointData data;
+  data.floor_seq = header.u64();
+  const std::uint64_t tenant_count = header.u64();
+
+  std::size_t pos = kHeaderBytes + sizeof(std::uint32_t);
+  std::size_t skipped = 0;
+  while (pos + 2 * sizeof(std::uint32_t) <= bytes.size()) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    std::memcpy(&crc, bytes.data() + pos + sizeof(len), sizeof(crc));
+    pos += 2 * sizeof(std::uint32_t);
+    if (len > bytes.size() - pos) {
+      // A corrupt length prefix loses frame alignment — everything from
+      // here is untrustworthy (the atomic write rules out a torn tail,
+      // so this is bit rot, not a crash artefact).
+      ++skipped;
+      break;
+    }
+    const auto payload = bytes.subspan(pos, len);
+    pos += len;
+    if (ftio::util::crc32c(payload.data(), payload.size()) != crc) {
+      ++skipped;
+      continue;
+    }
+    try {
+      data.tenants.push_back(decode_tenant(payload));
+    } catch (const ftio::util::ParseError&) {
+      ++skipped;
+    }
+  }
+  // The CRC-protected header promised tenant_count frames; whatever is
+  // neither decoded nor already counted was swallowed by a lost-
+  // alignment region. Count the damage, keep the verified survivors.
+  if (tenant_count > data.tenants.size() + skipped) {
+    skipped = static_cast<std::size_t>(tenant_count) - data.tenants.size();
+  }
+  stats.tenant_frames_skipped += skipped;
+  return data;
+}
+
+void write_checkpoint_file(const std::filesystem::path& directory,
+                           std::uint64_t seq,
+                           std::span<const std::uint8_t> bytes,
+                           const DurabilityOptions& options) {
+  std::filesystem::create_directories(directory);
+  const std::filesystem::path path = directory / checkpoint_name(seq);
+  if (FTIO_FAILPOINT("durability.checkpoint_write")) {
+    // Simulated crash mid-write: leave a garbage temp file behind (the
+    // final path is untouched — that is the point of the atomic path).
+    std::filesystem::path tmp = path;
+    tmp += ".tmp";
+    const std::size_t partial = std::max<std::size_t>(1, bytes.size() / 3);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(partial));
+    throw ftio::util::IoError("failpoint: durability.checkpoint_write");
+  }
+  if (FTIO_FAILPOINT("durability.checkpoint_fsync")) {
+    throw ftio::util::IoError("failpoint: durability.checkpoint_fsync");
+  }
+  if (FTIO_FAILPOINT("durability.checkpoint_rename")) {
+    throw ftio::util::IoError("failpoint: durability.checkpoint_rename");
+  }
+  ftio::util::write_file_atomic(path, bytes);
+
+  // Prune beyond the retention count, oldest first. Best-effort: a
+  // leftover old checkpoint is only disk, never a correctness problem.
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> checkpoints;
+  for (const auto& entry : std::filesystem::directory_iterator(directory,
+                                                               ec)) {
+    std::uint64_t s = 0;
+    if (parse_checkpoint_name(entry.path().filename().string(), s)) {
+      checkpoints.emplace_back(s, entry.path());
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  const std::size_t keep = std::max<std::size_t>(1, options.keep_checkpoints);
+  while (checkpoints.size() > keep) {
+    std::filesystem::remove(checkpoints.front().second, ec);
+    checkpoints.erase(checkpoints.begin());
+  }
+}
+
+std::optional<LoadedCheckpoint> load_newest_checkpoint(
+    const std::filesystem::path& directory, const DurabilityOptions& options,
+    RecoveryStats& stats) {
+  (void)options;
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> checkpoints;
+  for (const auto& entry : std::filesystem::directory_iterator(directory,
+                                                               ec)) {
+    std::uint64_t seq = 0;
+    if (parse_checkpoint_name(entry.path().filename().string(), seq)) {
+      checkpoints.emplace_back(seq, entry.path());
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, path] : checkpoints) {
+    try {
+      const std::vector<std::uint8_t> bytes =
+          ftio::util::read_binary_file(path);
+      LoadedCheckpoint loaded;
+      loaded.data = parse_checkpoint(bytes, stats);
+      loaded.seq = seq;
+      return loaded;
+    } catch (const ftio::util::ParseError&) {
+      // Quarantine, never delete: the bytes are evidence. Recovery falls
+      // back to the next-older checkpoint plus a longer journal replay.
+      std::filesystem::path corrupt = path;
+      corrupt += ".corrupt";
+      std::filesystem::rename(path, corrupt, ec);
+      ++stats.checkpoints_quarantined;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftio::durability

@@ -1,0 +1,312 @@
+#include "durability/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+#include <utility>
+
+#include "util/binio.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/failpoints.hpp"
+#include "util/file.hpp"
+
+namespace ftio::durability {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 2 * sizeof(std::uint32_t);
+/// Minimum encoded bytes of one IoRequest (allocation bound for counts).
+constexpr std::size_t kRequestBytes = 4 * 8 + 1;
+
+void write_request(ftio::util::BinWriter& out,
+                   const ftio::trace::IoRequest& r) {
+  out.i64(r.rank);
+  out.f64(r.start);
+  out.f64(r.end);
+  out.u64(r.bytes);
+  out.u8(static_cast<std::uint8_t>(r.kind));
+}
+
+ftio::trace::IoRequest read_request(ftio::util::BinReader& in) {
+  ftio::trace::IoRequest r;
+  r.rank = static_cast<int>(in.i64());
+  r.start = in.f64();
+  r.end = in.f64();
+  r.bytes = in.u64();
+  const std::uint8_t kind = in.u8();
+  if (kind > 1) throw ftio::util::ParseError("journal: bad IoKind");
+  r.kind = static_cast<ftio::trace::IoKind>(kind);
+  return r;
+}
+
+JournalRecord decode_payload(std::span<const std::uint8_t> payload) {
+  ftio::util::BinReader in(payload);
+  JournalRecord record;
+  const std::uint8_t type = in.u8();
+  if (type != static_cast<std::uint8_t>(JournalRecordType::kFlush) &&
+      type != static_cast<std::uint8_t>(JournalRecordType::kAbort)) {
+    throw ftio::util::ParseError("journal: bad record type");
+  }
+  record.type = static_cast<JournalRecordType>(type);
+  record.seq = in.u64();
+  record.tenant = in.str();
+  if (record.type == JournalRecordType::kFlush) {
+    const std::size_t n = in.count(kRequestBytes);
+    record.requests.resize(n);
+    for (auto& r : record.requests) r = read_request(in);
+  } else {
+    record.aborted_seq = in.u64();
+  }
+  if (!in.done()) {
+    throw ftio::util::ParseError("journal: trailing bytes in record");
+  }
+  return record;
+}
+
+/// Journal segments: seg-<20-digit first sequence>.wal.
+std::string segment_name(std::uint64_t first_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "seg-%020llu.wal",
+                static_cast<unsigned long long>(first_seq));
+  return buf;
+}
+
+bool parse_segment_name(const std::string& name, std::uint64_t& first_seq) {
+  if (name.size() != 28 || name.rfind("seg-", 0) != 0 ||
+      name.compare(24, 4, ".wal") != 0) {
+    return false;
+  }
+  first_seq = 0;
+  for (std::size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    first_seq = first_seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_journal_record(const JournalRecord& record) {
+  ftio::util::BinWriter payload;
+  payload.u8(static_cast<std::uint8_t>(record.type));
+  payload.u64(record.seq);
+  payload.str(record.tenant);
+  if (record.type == JournalRecordType::kFlush) {
+    payload.u64(record.requests.size());
+    for (const auto& r : record.requests) write_request(payload, r);
+  } else {
+    payload.u64(record.aborted_seq);
+  }
+
+  ftio::util::BinWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(ftio::util::crc32c(payload.bytes().data(), payload.size()));
+  frame.append(payload.bytes());
+  return frame.take();
+}
+
+JournalScan scan_journal_bytes(std::span<const std::uint8_t> bytes,
+                               std::size_t max_record_bytes,
+                               std::vector<JournalRecord>& out) {
+  JournalScan scan;
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= kFrameHeaderBytes) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    std::memcpy(&crc, bytes.data() + pos + sizeof(len), sizeof(crc));
+    // An oversized or beyond-the-end length is indistinguishable from a
+    // frame the crash cut short: stop trusting here.
+    if (len > max_record_bytes ||
+        len > bytes.size() - pos - kFrameHeaderBytes) {
+      scan.clean = false;
+      return scan;
+    }
+    const auto payload = bytes.subspan(pos + kFrameHeaderBytes, len);
+    if (ftio::util::crc32c(payload.data(), payload.size()) != crc) {
+      ++scan.records_discarded;
+      scan.clean = false;
+      return scan;
+    }
+    try {
+      out.push_back(decode_payload(payload));
+    } catch (const ftio::util::ParseError&) {
+      ++scan.records_discarded;
+      scan.clean = false;
+      return scan;
+    }
+    pos += kFrameHeaderBytes + len;
+    scan.valid_bytes = pos;
+  }
+  scan.clean = scan.clean && pos == bytes.size();
+  return scan;
+}
+
+JournalWriter::JournalWriter(std::filesystem::path directory,
+                             DurabilityOptions options,
+                             std::uint64_t next_seq)
+    : directory_(std::move(directory)), options_(std::move(options)),
+      next_seq_(next_seq) {
+  std::filesystem::create_directories(directory_);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::open_segment() {
+  segment_path_ = directory_ / segment_name(next_seq_);
+  fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw ftio::util::IoError("journal: cannot open segment: " +
+                              segment_path_.string() + ": " +
+                              std::strerror(errno));
+  }
+  segment_bytes_ = 0;
+  unsynced_records_ = 0;
+  // Make the directory entry durable: a crash right after rotation must
+  // still find the new segment (or find nothing — never a ghost name).
+  ftio::util::file_detail::fsync_parent_dir(segment_path_);
+}
+
+void JournalWriter::close_segment() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t JournalWriter::append(
+    JournalRecordType type, std::string_view tenant,
+    std::span<const ftio::trace::IoRequest> requests,
+    std::uint64_t aborted_seq) {
+  JournalRecord record;
+  record.type = type;
+  record.seq = next_seq_;
+  record.tenant = tenant;
+  record.requests.assign(requests.begin(), requests.end());
+  record.aborted_seq = aborted_seq;
+  const std::vector<std::uint8_t> frame = encode_journal_record(record);
+
+  try {
+    if (fd_ < 0) open_segment();
+    if (FTIO_FAILPOINT("durability.journal_write")) {
+      // Simulated crash mid-write: a genuine torn frame lands on disk,
+      // exactly what recovery's tail truncation must cope with.
+      const std::size_t partial = std::max<std::size_t>(1, frame.size() / 3);
+      ftio::util::file_detail::write_all(fd_, frame.data(), partial,
+                                         segment_path_);
+      throw ftio::util::IoError("failpoint: durability.journal_write");
+    }
+    ftio::util::file_detail::write_all(fd_, frame.data(), frame.size(),
+                                       segment_path_);
+    segment_bytes_ += frame.size();
+    ++unsynced_records_;
+    if (options_.fsync_every_records > 0 &&
+        unsynced_records_ >= options_.fsync_every_records) {
+      sync();
+    }
+    if (segment_bytes_ >= options_.max_segment_bytes) {
+      if (FTIO_FAILPOINT("durability.journal_rotate")) {
+        throw ftio::util::IoError("failpoint: durability.journal_rotate");
+      }
+      sync();
+      close_segment();
+      ++rotations_;
+    }
+  } catch (...) {
+    // The segment tail is now suspect (possibly torn). Abandon it and
+    // burn the sequence: the next append starts a fresh segment, so the
+    // torn frame can never shadow a later acknowledged record in the
+    // same file.
+    close_segment();
+    ++next_seq_;
+    throw;
+  }
+  return next_seq_++;
+}
+
+void JournalWriter::sync() {
+  if (fd_ < 0) return;
+  if (FTIO_FAILPOINT("durability.journal_fsync")) {
+    throw ftio::util::IoError("failpoint: durability.journal_fsync");
+  }
+  if (::fsync(fd_) != 0) {
+    throw ftio::util::IoError("journal: fsync failed: " +
+                              segment_path_.string() + ": " +
+                              std::strerror(errno));
+  }
+  unsynced_records_ = 0;
+}
+
+void JournalWriter::truncate_through(std::uint64_t floor_seq) {
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> segments;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    std::uint64_t first = 0;
+    if (parse_segment_name(entry.path().filename().string(), first)) {
+      segments.emplace_back(first, entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  // Segment i holds sequences [first_i, first_{i+1}); it is redundant
+  // once every one of them is <= floor. The open (newest) segment is
+  // never deleted.
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first <= floor_seq + 1 &&
+        segments[i].second != segment_path_) {
+      std::filesystem::remove(segments[i].second, ec);
+    }
+  }
+}
+
+JournalRecovery recover_journal(const std::filesystem::path& directory,
+                                const DurabilityOptions& options,
+                                RecoveryStats& stats) {
+  JournalRecovery recovery;
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> segments;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    std::uint64_t first = 0;
+    if (parse_segment_name(entry.path().filename().string(), first)) {
+      segments.emplace_back(first, entry.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (const auto& [first_seq, path] : segments) {
+    (void)first_seq;
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = ftio::util::read_binary_file(path);
+    } catch (const ftio::util::ParseError&) {
+      ++stats.records_discarded;
+      continue;
+    }
+    const JournalScan scan =
+        scan_journal_bytes(bytes, options.max_record_bytes,
+                           recovery.records);
+    stats.records_discarded += scan.records_discarded;
+    if (scan.valid_bytes < bytes.size()) {
+      // Torn or corrupt tail: truncate it away so the bad bytes are
+      // gone for good (repeat recoveries see a clean segment). The
+      // truncated records were never acknowledged — an append either
+      // completed its frame (and fsync policy) before the ack, or threw.
+      if (::truncate(path.c_str(), static_cast<off_t>(scan.valid_bytes)) ==
+          0) {
+        ++stats.torn_tails_truncated;
+      }
+    }
+  }
+  for (const auto& record : recovery.records) {
+    recovery.max_seq = std::max(recovery.max_seq, record.seq);
+  }
+  return recovery;
+}
+
+}  // namespace ftio::durability

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -259,6 +260,29 @@ class StreamingSession {
     const ftio::util::LockGuard lock(mutex_);
     return triage_bank_.estimate();
   }
+  /// Serializes everything a later restore needs to continue the stream
+  /// bit-identically: sweep events, curve segments, discretisation
+  /// prefixes (sample caches), window-selection state, prediction
+  /// histories, triage-bank accumulators, and the running aggregates —
+  /// exactly the state compaction retains. The payload is a versioned
+  /// raw byte stream (doubles as IEEE bit patterns); framing (magic,
+  /// CRC) is the durability layer's job. Not serialized: last_result()
+  /// (diagnostic only — empty after restore until the next full
+  /// analysis) and merged_intervals() (a pure function of history,
+  /// recomputed lazily).
+  std::vector<std::uint8_t> serialize_state() const FTIO_EXCLUDES(mutex_);
+
+  /// Restores state written by serialize_state into a session constructed
+  /// with the *same* StreamingOptions: subsequent ingest()/predict()
+  /// calls then produce byte-identical predictions, CompactionStats, and
+  /// TriageStats to the uninterrupted original. Throws util::ParseError
+  /// on truncated or corrupt payloads and when the payload's shape does
+  /// not match this session's options (ensemble size, triage grid);
+  /// the session is unchanged on throw — recover-or-reject, never a
+  /// half-restored hybrid.
+  void restore_state(std::span<const std::uint8_t> payload)
+      FTIO_EXCLUDES(mutex_);
+
   /// Approximate resident bytes of all per-session state: sweep events,
   /// level cache, curve, discretisation caches, histories, intervals,
   /// and the filter bank. Capacity-based, so eviction without

@@ -109,6 +109,7 @@ void IngestDaemon::stop() {
     for (auto& shard : shards_) {
       while (shard->pump() > 0) {
       }
+      shard->final_checkpoint();
     }
   }
 }

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -46,10 +49,12 @@ class Mailbox {
 
   /// Thread-safe producer side. Returns kAccepted, kCoalesced,
   /// kRejectedQueueFull, or kRejectedStopped; `requests` is consumed
-  /// only on admission.
+  /// only on admission. `seq` is the flush's journal sequence (0 with
+  /// durability off); coalescing keeps the highest merged sequence.
   Admission push(std::string_view tenant,
                  std::vector<ftio::trace::IoRequest>&& requests,
-                 Clock::time_point now) FTIO_EXCLUDES(mutex_) {
+                 Clock::time_point now, std::uint64_t seq = 0)
+      FTIO_EXCLUDES(mutex_) {
     const ftio::util::LockGuard lock(mutex_);
     if (closed_) return Admission::kRejectedStopped;
     if (FTIO_FAILPOINT("service.queue_overflow")) {
@@ -65,6 +70,7 @@ class Mailbox {
         it->requests.insert(it->requests.end(),
                             std::make_move_iterator(requests.begin()),
                             std::make_move_iterator(requests.end()));
+        it->seq = std::max(it->seq, seq);
         return Admission::kCoalesced;
       }
     }
@@ -73,6 +79,7 @@ class Mailbox {
     item.tenant = std::string(tenant);
     item.requests = std::move(requests);
     item.enqueued = now;
+    item.seq = seq;
     if (queue_.size() > max_depth_) max_depth_ = queue_.size();
     not_empty_.notify_one();
     return Admission::kAccepted;
@@ -124,6 +131,18 @@ class Mailbox {
   bool empty() const FTIO_EXCLUDES(mutex_) {
     const ftio::util::LockGuard lock(mutex_);
     return queue_.empty();
+  }
+  /// Lowest journal sequence still queued (UINT64_MAX when no queued
+  /// item carries one). The checkpoint floor must stay below every
+  /// queued-but-unprocessed sequence, or truncation could delete a
+  /// journal record whose flush only exists in the mailbox.
+  std::uint64_t min_seq() const FTIO_EXCLUDES(mutex_) {
+    const ftio::util::LockGuard lock(mutex_);
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    for (const Flush& item : queue_) {
+      if (item.seq != 0) min = std::min(min, item.seq);
+    }
+    return min;
   }
   /// Items ever handed to the consumer — with Shard's completed-items
   /// counter this decides quiescence: once producers stop, the shard is

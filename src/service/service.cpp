@@ -15,6 +15,7 @@ const char* admission_name(Admission admission) {
     case Admission::kRejectedPoisoned: return "rejected-poisoned";
     case Admission::kRejectedMalformed: return "rejected-malformed";
     case Admission::kRejectedStopped: return "rejected-stopped";
+    case Admission::kRejectedDurability: return "rejected-durability";
   }
   return "unknown";
 }
@@ -77,6 +78,7 @@ void ShardStats::merge(const ShardStats& other) {
   rejected_queue_full += other.rejected_queue_full;
   rejected_poisoned += other.rejected_poisoned;
   rejected_stopped += other.rejected_stopped;
+  rejected_durability += other.rejected_durability;
   processed_items += other.processed_items;
   processed_requests += other.processed_requests;
   deferred_flushes += other.deferred_flushes;
@@ -98,6 +100,14 @@ void ShardStats::merge(const ShardStats& other) {
   dropped_poisoned_flushes += other.dropped_poisoned_flushes;
   evicted_idle += other.evicted_idle;
   shard_restarts += other.shard_restarts;
+  journal_appends += other.journal_appends;
+  journal_append_failures += other.journal_append_failures;
+  journal_rotations += other.journal_rotations;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_failures += other.checkpoint_failures;
+  snapshot_reuses += other.snapshot_reuses;
+  replay_skipped_duplicates += other.replay_skipped_duplicates;
+  recovery.merge(other.recovery);
   level = std::max(level, other.level);
   ladder_step_downs += other.ladder_step_downs;
   ladder_step_ups += other.ladder_step_ups;

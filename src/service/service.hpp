@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/detectors.hpp"
+#include "durability/durability.hpp"
 #include "engine/streaming.hpp"
 #include "trace/formats.hpp"
 #include "trace/model.hpp"
@@ -37,6 +38,10 @@ enum class Admission {
   kRejectedPoisoned,  ///< the tenant's session is quarantined
   kRejectedMalformed, ///< a framed submission decoded to zero valid records
   kRejectedStopped,   ///< the daemon is shutting down
+  /// Durability is on and the write-ahead journal append failed: the
+  /// flush cannot be made durable, so it is refused rather than
+  /// acknowledged on a promise the journal cannot keep.
+  kRejectedDurability,
 };
 
 const char* admission_name(Admission admission);
@@ -141,6 +146,9 @@ struct ServiceOptions {
   ftio::engine::StreamingOptions session = default_session_template();
   LadderOptions ladder;
   BudgetOptions budget;
+  /// Checkpoint/WAL layer (see durability/durability.hpp). Disabled by
+  /// default: no journal, no checkpoints, no recovery, zero cost.
+  ftio::durability::DurabilityOptions durability;
 };
 
 /// One queued unit of shard work: a tenant's flushed request chunk.
@@ -148,6 +156,10 @@ struct Flush {
   std::string tenant;
   std::vector<ftio::trace::IoRequest> requests;
   Clock::time_point enqueued;
+  /// Journal sequence of the flush (0 when durability is off). A
+  /// coalesced item carries the highest merged sequence — replaying up
+  /// to it covers every flush folded in.
+  std::uint64_t seq = 0;
 };
 
 /// Fixed-bucket log2 latency histogram (microsecond resolution, capped
@@ -176,6 +188,7 @@ struct ShardStats {
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_poisoned = 0;
   std::size_t rejected_stopped = 0;
+  std::size_t rejected_durability = 0;  ///< journal append failed
 
   // Processing.
   std::size_t processed_items = 0;
@@ -203,6 +216,18 @@ struct ShardStats {
   std::size_t dropped_poisoned_flushes = 0;
   std::size_t evicted_idle = 0;
   std::size_t shard_restarts = 0;
+
+  // Durability (all zero while DurabilityOptions::enabled is false).
+  std::size_t journal_appends = 0;
+  std::size_t journal_append_failures = 0;
+  std::size_t journal_rotations = 0;
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_failures = 0;
+  std::size_t snapshot_reuses = 0;  ///< stale blob reused (token-broke tenant)
+  /// Flushes skipped at processing because the journal already replayed
+  /// them (mailbox items surviving an in-process restart).
+  std::size_t replay_skipped_duplicates = 0;
+  ftio::durability::RecoveryStats recovery;
 
   // Ladder.
   DegradationLevel level = DegradationLevel::kFull;

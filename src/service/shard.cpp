@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <new>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
+#include "durability/checkpoint.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/failpoints.hpp"
@@ -35,6 +39,16 @@ Shard::Shard(std::size_t index, const ServiceOptions& options)
                options.max_item_requests) {
   FTIO_CONTRACT(options.ladder.low_watermark <= options.ladder.high_watermark,
                 "ladder watermarks must satisfy low <= high");
+  if (durability_on()) {
+    FTIO_CONTRACT(!options_.durability.directory.empty(),
+                  "durability enabled with an empty directory");
+    durability_dir_ = std::filesystem::path(options_.durability.directory) /
+                      ("shard-" + std::to_string(index_));
+    // A failure here (unwritable directory, corrupt-beyond-repair
+    // journal writer setup) is a construction failure: a daemon that
+    // cannot keep its durability promise should not start.
+    recover_state();
+  }
 }
 
 Shard::~Shard() { stop(); }
@@ -42,19 +56,61 @@ Shard::~Shard() { stop(); }
 Admission Shard::submit(std::string_view tenant,
                         std::vector<ftio::trace::IoRequest>&& requests) {
   Admission admission;
+  std::size_t journal_appends = 0;
+  std::size_t journal_failures = 0;
   if (poisoned(tenant)) {
     admission = Admission::kRejectedPoisoned;
-  } else {
+  } else if (!durability_on()) {
     admission = mailbox_.push(tenant, std::move(requests), Clock::now());
+  } else {
+    // Write-ahead: the flush hits the journal before the mailbox, under
+    // one lock so journal sequence order equals mailbox arrival order.
+    // An append failure refuses the flush — acknowledging a flush the
+    // journal cannot replay would break acked-implies-durable.
+    const ftio::util::LockGuard journal_lock(journal_mutex_);
+    if (journal_ == nullptr) {
+      admission = Admission::kRejectedDurability;
+    } else {
+      std::uint64_t seq = 0;
+      try {
+        seq = journal_->append(ftio::durability::JournalRecordType::kFlush,
+                               tenant, requests);
+        ++journal_appends;
+      } catch (const std::exception&) {
+        ++journal_failures;
+      }
+      if (seq == 0) {
+        admission = Admission::kRejectedDurability;
+      } else {
+        admission = mailbox_.push(tenant, std::move(requests), Clock::now(),
+                                  seq);
+        if (!admitted(admission)) {
+          // The sequence is journaled but the flush was refused:
+          // compensate so replay skips it. Best-effort — if the abort
+          // cannot be written, replay re-applies an unacknowledged
+          // flush, which at-least-once semantics tolerate.
+          try {
+            journal_->append(ftio::durability::JournalRecordType::kAbort,
+                             tenant, {}, seq);
+            ++journal_appends;
+          } catch (const std::exception&) {
+            ++journal_failures;
+          }
+        }
+      }
+    }
   }
   const ftio::util::LockGuard lock(stats_mutex_);
   ++stats_.submitted;
+  stats_.journal_appends += journal_appends;
+  stats_.journal_append_failures += journal_failures;
   switch (admission) {
     case Admission::kAccepted: ++stats_.accepted; break;
     case Admission::kCoalesced: ++stats_.coalesced; break;
     case Admission::kRejectedQueueFull: ++stats_.rejected_queue_full; break;
     case Admission::kRejectedPoisoned: ++stats_.rejected_poisoned; break;
     case Admission::kRejectedStopped: ++stats_.rejected_stopped; break;
+    case Admission::kRejectedDurability: ++stats_.rejected_durability; break;
     case Admission::kRejectedMalformed: break;  // decided in the daemon
   }
   return admission;
@@ -69,7 +125,27 @@ void Shard::start() {
 void Shard::stop() {
   stopping_.store(true, std::memory_order_relaxed);
   mailbox_.close();
-  if (worker_.joinable()) worker_.join();
+  if (worker_.joinable()) {
+    worker_.join();
+    // The worker drained everything before exiting, so the shard state
+    // is final and this thread now owns it (background mode only; in
+    // foreground mode the daemon checkpoints after its own final pump).
+    final_checkpoint();
+  }
+}
+
+void Shard::final_checkpoint() {
+  if (!durability_on() || !options_.durability.checkpoint_on_stop ||
+      final_checkpoint_done_) {
+    return;
+  }
+  final_checkpoint_done_ = true;
+  CycleDelta delta;
+  write_checkpoint(delta);
+  delta.counters.tenants = tenants_.size();
+  delta.counters.live_sessions = live_sessions_;
+  const ftio::util::LockGuard lock(stats_mutex_);
+  delta.fold_into(stats_);
 }
 
 std::size_t Shard::pump() {
@@ -128,6 +204,18 @@ void Shard::drain(std::vector<Flush>& batch, CycleDelta& delta) {
   for (Flush& flush : batch) process_flush(flush, level, delta);
   run_due_analyses(level, delta);
   evict_idle(delta);
+  if (durability_on() && options_.durability.checkpoint_interval_cycles > 0) {
+    // The ladder stretches the cadence (doubled per rung): checkpoint
+    // serialization is analysis-tier work and sheds under overload the
+    // same way.
+    const std::size_t interval =
+        options_.durability.checkpoint_interval_cycles
+        << static_cast<std::size_t>(level);
+    if (++cycles_since_checkpoint_ >= interval) {
+      cycles_since_checkpoint_ = 0;
+      write_checkpoint(delta);
+    }
+  }
 }
 
 void Shard::update_ladder(std::size_t backlog, CycleDelta& delta) {
@@ -165,7 +253,12 @@ void Shard::process_flush(Flush& flush, DegradationLevel level,
       seconds_between(flush.enqueued, started));
 
   Tenant& tenant = touch(flush.tenant);
-  if (tenant.poisoned) {
+  if (flush.seq != 0 && flush.seq <= tenant.last_applied_seq) {
+    // Already recovered: this mailbox item survived an in-process
+    // restart whose journal replay applied the same flush. Ingesting it
+    // again would double-count the requests.
+    ++delta.counters.replay_skipped_duplicates;
+  } else if (tenant.poisoned) {
     // Admitted before the quarantine landed; drop without touching
     // anything (the tenant has no session to corrupt).
     ++delta.counters.dropped_poisoned_flushes;
@@ -197,6 +290,11 @@ void Shard::process_flush(Flush& flush, DegradationLevel level,
       }
     }
   }
+  // Every non-duplicate outcome left the flush reflected in tenant
+  // state: ingested into the session, buffered in the (checkpointed)
+  // pending vector, or deliberately dropped by a durable quarantine.
+  // Recording it applied keeps replay and checkpoint floors honest.
+  tenant.last_applied_seq = std::max(tenant.last_applied_seq, flush.seq);
   delta.counters.process_time.record_seconds(
       seconds_between(started, Clock::now()));
 }
@@ -313,9 +411,8 @@ void Shard::apply_level(Tenant& tenant, DegradationLevel level) {
   tenant.reduced_detectors = reduced;
 }
 
-bool Shard::take_token(Tenant& tenant) {
+void Shard::refill_bucket(Tenant& tenant) {
   const BudgetOptions& budget = options_.budget;
-  if (budget.burst <= 0.0) return true;
   const auto now = Clock::now();
   if (!tenant.bucket_primed) {
     tenant.tokens = budget.burst;
@@ -326,8 +423,22 @@ bool Shard::take_token(Tenant& tenant) {
       budget.burst, tenant.tokens + seconds_between(tenant.last_refill, now) *
                                         budget.analyses_per_second);
   tenant.last_refill = now;
+}
+
+bool Shard::take_token(Tenant& tenant) {
+  if (options_.budget.burst <= 0.0) return true;
+  refill_bucket(tenant);
   if (tenant.tokens < 1.0) return false;
   tenant.tokens -= 1.0;
+  return true;
+}
+
+bool Shard::take_snapshot_token(Tenant& tenant) {
+  const double cost = options_.durability.snapshot_token_cost;
+  if (cost <= 0.0 || options_.budget.burst <= 0.0) return true;
+  refill_bucket(tenant);
+  if (tenant.tokens < cost) return false;
+  tenant.tokens -= cost;
   return true;
 }
 
@@ -387,6 +498,198 @@ void Shard::restart() {
   live_sessions_ = 0;
   // The quarantine and results boards survive on purpose: poisoning is
   // an admission-side promise, and stale predictions beat lost ones.
+  if (durability_on()) {
+    // Crash-only recovery is where the durability layer earns its keep:
+    // instead of an empty tenant map, rebuild from the newest checkpoint
+    // plus a journal replay. Queued mailbox items that replay already
+    // covered are deduplicated at processing by their sequence.
+    try {
+      recover_state();
+    } catch (const std::exception&) {
+      // Even the journal writer could not be rebuilt. Run non-durable-
+      // degraded: admission rejects (kRejectedDurability) rather than
+      // acknowledging flushes the journal cannot replay.
+      const ftio::util::LockGuard journal_lock(journal_mutex_);
+      journal_.reset();
+    }
+  }
+}
+
+void Shard::recover_state() {
+  ftio::durability::RecoveryStats rs;
+  std::uint64_t max_restored_seq = 0;
+
+  const ftio::util::LockGuard journal_lock(journal_mutex_);
+  journal_.reset();  // close the writer before scanning its segments
+  checkpoint_floors_.clear();
+
+  // Phase 1: newest parseable checkpoint (corrupt ones are quarantined
+  // inside load_newest_checkpoint and the next-older file is tried).
+  std::error_code ec;
+  std::filesystem::create_directories(durability_dir_, ec);
+  const auto loaded = ftio::durability::load_newest_checkpoint(
+      durability_dir_, options_.durability, rs);
+  if (loaded.has_value()) {
+    for (const ftio::durability::TenantSnapshot& snap : loaded->data.tenants) {
+      Tenant& tenant = touch(snap.name);
+      tenant.pending = snap.pending;
+      tenant.last_applied_seq = snap.last_applied_seq;
+      if (snap.poisoned) {
+        tenant.poisoned = true;
+        const ftio::util::LockGuard lock(board_mutex_);
+        poisoned_board_.insert(snap.name);
+      } else if (snap.has_session) {
+        try {
+          auto session = std::make_unique<ftio::engine::StreamingSession>(
+              options_.session);
+          session->restore_state(snap.session_state);
+          tenant.session = std::move(session);
+          ++live_sessions_;
+          ++rs.sessions_restored;
+          // The restored blob doubles as the first checkpoint cache.
+          tenant.snapshot_blob = snap.session_state;
+          tenant.snapshot_seq = snap.last_applied_seq;
+          tenant.snapshot_valid = true;
+        } catch (const std::exception&) {
+          // Rejected snapshot: start the tenant fresh and replay as far
+          // back as the journal still reaches (floor truncation bounds
+          // the loss to what older checkpoints already covered).
+          ++rs.snapshots_rejected;
+          tenant.last_applied_seq = 0;
+        }
+      }
+      max_restored_seq = std::max(max_restored_seq, tenant.last_applied_seq);
+      ++rs.tenants_restored;
+    }
+    max_restored_seq = std::max(max_restored_seq, loaded->data.floor_seq);
+    // Seed the retention window so the next checkpoint's truncation
+    // cannot orphan the one just restored from.
+    checkpoint_floors_.push_back(loaded->data.floor_seq);
+  }
+
+  // Phase 2: journal replay. Torn tails are truncated in place; abort
+  // records veto the flushes they compensate; anything at or below a
+  // tenant's snapshot sequence is already inside the restored session.
+  const auto journal_recovery = ftio::durability::recover_journal(
+      durability_dir_ / "journal", options_.durability, rs);
+  std::unordered_set<std::uint64_t> aborted;
+  for (const auto& record : journal_recovery.records) {
+    if (record.type == ftio::durability::JournalRecordType::kAbort) {
+      aborted.insert(record.aborted_seq);
+    }
+  }
+  CycleDelta scratch;
+  for (const auto& record : journal_recovery.records) {
+    if (record.type != ftio::durability::JournalRecordType::kFlush) continue;
+    Tenant& tenant = touch(record.tenant);
+    if (record.seq <= tenant.last_applied_seq || aborted.contains(record.seq)) {
+      ++rs.records_discarded;
+      continue;
+    }
+    if (!tenant.poisoned) {
+      Flush flush;
+      flush.tenant = record.tenant;
+      flush.requests = record.requests;
+      flush.enqueued = Clock::now();
+      flush.seq = record.seq;
+      rs.replayed_requests += flush.requests.size();
+      ingest_into(tenant, flush, scratch);
+    }
+    tenant.last_applied_seq = record.seq;
+    ++rs.records_replayed;
+  }
+
+  // Phase 3: a fresh writer past every sequence recovery has seen. The
+  // next append lands in a new segment, so replayed files are never
+  // appended to.
+  journal_ = std::make_unique<ftio::durability::JournalWriter>(
+      durability_dir_ / "journal", options_.durability,
+      std::max(journal_recovery.max_seq, max_restored_seq) + 1);
+
+  const ftio::util::LockGuard lock(stats_mutex_);
+  recovery_.merge(rs);
+}
+
+bool Shard::write_checkpoint(CycleDelta& delta) {
+  try {
+    ftio::durability::CheckpointData data;
+    data.tenants.reserve(tenants_.size());
+    std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+    for (auto& [name, tenant] : tenants_) {
+      ftio::durability::TenantSnapshot snap;
+      snap.name = name;
+      snap.poisoned = tenant.poisoned;
+      snap.pending = tenant.pending;
+      snap.last_applied_seq = tenant.last_applied_seq;
+      if (tenant.session != nullptr) {
+        const bool stale = !tenant.snapshot_valid ||
+                           tenant.snapshot_seq != tenant.last_applied_seq;
+        if (stale) {
+          // A fresh serialization is budgeted like a fraction of an
+          // analysis — but only a tenant that *has* a reusable blob may
+          // skip it (correctness first: without any blob, skipping
+          // would checkpoint a sequence the journal no longer covers
+          // after truncation).
+          if (!tenant.snapshot_valid || take_snapshot_token(tenant)) {
+            tenant.snapshot_blob = tenant.session->serialize_state();
+            tenant.snapshot_seq = tenant.last_applied_seq;
+            tenant.snapshot_valid = true;
+          } else {
+            ++delta.counters.snapshot_reuses;
+          }
+        }
+        snap.has_session = true;
+        snap.session_state = tenant.snapshot_blob;
+        // A stale blob reflects state at snapshot_seq; declaring that
+        // sequence makes replay re-apply the gap.
+        snap.last_applied_seq = tenant.snapshot_seq;
+      }
+      floor = std::min(floor, snap.last_applied_seq);
+      data.tenants.push_back(std::move(snap));
+    }
+    // The floor must also stay below every queued-but-unprocessed
+    // sequence: those flushes exist only in the journal and the mailbox.
+    const std::uint64_t queued_min = mailbox_.min_seq();
+    if (queued_min != std::numeric_limits<std::uint64_t>::max()) {
+      floor = std::min(floor, queued_min - 1);
+    }
+    std::uint64_t name_seq = 0;
+    {
+      const ftio::util::LockGuard journal_lock(journal_mutex_);
+      if (journal_ == nullptr) return false;
+      name_seq = journal_->next_seq();
+    }
+    if (floor == std::numeric_limits<std::uint64_t>::max()) {
+      floor = name_seq == 0 ? 0 : name_seq - 1;
+    }
+    data.floor_seq = floor;
+    const std::vector<std::uint8_t> bytes =
+        ftio::durability::encode_checkpoint(data);
+    ftio::durability::write_checkpoint_file(durability_dir_, name_seq, bytes,
+                                            options_.durability);
+    // Truncate through the oldest *retained* floor, not this one: an
+    // older checkpoint kept as corruption fallback is only useful while
+    // the records above its floor still exist.
+    checkpoint_floors_.push_back(floor);
+    while (checkpoint_floors_.size() >
+           std::max<std::size_t>(1, options_.durability.keep_checkpoints)) {
+      checkpoint_floors_.pop_front();
+    }
+    {
+      const ftio::util::LockGuard journal_lock(journal_mutex_);
+      if (journal_ != nullptr) {
+        journal_->truncate_through(checkpoint_floors_.front());
+      }
+    }
+    ++delta.counters.checkpoints_written;
+    return true;
+  } catch (const std::exception&) {
+    // A failed checkpoint costs nothing but the attempt: the previous
+    // checkpoint file is still intact (atomic write) and the journal
+    // keeps every record the failed one would have covered.
+    ++delta.counters.checkpoint_failures;
+    return false;
+  }
 }
 
 ShardStats Shard::stats() const {
@@ -394,6 +697,11 @@ ShardStats Shard::stats() const {
   {
     const ftio::util::LockGuard lock(stats_mutex_);
     snapshot = stats_;
+    snapshot.recovery = recovery_;
+  }
+  {
+    const ftio::util::LockGuard journal_lock(journal_mutex_);
+    if (journal_ != nullptr) snapshot.journal_rotations = journal_->rotations();
   }
   snapshot.level = level();
   snapshot.queue_depth = mailbox_.depth();
@@ -437,6 +745,10 @@ void Shard::CycleDelta::fold_into(ShardStats& stats) const {
   stats.dropped_poisoned_flushes += counters.dropped_poisoned_flushes;
   stats.evicted_idle += counters.evicted_idle;
   stats.shard_restarts += counters.shard_restarts;
+  stats.checkpoints_written += counters.checkpoints_written;
+  stats.checkpoint_failures += counters.checkpoint_failures;
+  stats.snapshot_reuses += counters.snapshot_reuses;
+  stats.replay_skipped_duplicates += counters.replay_skipped_duplicates;
   stats.ladder_step_downs += counters.ladder_step_downs;
   stats.ladder_step_ups += counters.ladder_step_ups;
   stats.tenants = counters.tenants;

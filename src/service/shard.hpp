@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
 #include <list>
 #include <memory>
 #include <optional>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "core/online.hpp"
+#include "durability/journal.hpp"
 #include "engine/streaming.hpp"
 #include "service/mailbox.hpp"
 #include "service/service.hpp"
@@ -103,6 +107,12 @@ class Shard {
   DegradationLevel level() const { return level_.load(std::memory_order_relaxed); }
   std::size_t index() const { return index_; }
 
+  /// Writes one final checkpoint (durability enabled + checkpoint_on_stop
+  /// only; idempotent, best-effort). Callable only when the shard is
+  /// quiescent: after the worker joined (background) or after the owner
+  /// finished pumping (foreground) — IngestDaemon::stop sequences this.
+  void final_checkpoint();
+
  private:
   /// Per-tenant shard-thread state. `session` stays null while the
   /// tenant's requests sit in the pre-materialization buffer — with
@@ -118,6 +128,14 @@ class Shard {
     std::size_t last_sample_count = 0;
     bool reduced_detectors = false;  ///< ladder detector set applied
     bool poisoned = false;
+    // Durability. last_applied_seq is the highest journal sequence
+    // reflected in this tenant's state (session + pending); the cached
+    // snapshot blob lets a checkpoint reuse the last serialization when
+    // the token bucket cannot afford a fresh one.
+    std::uint64_t last_applied_seq = 0;
+    std::vector<std::uint8_t> snapshot_blob;
+    std::uint64_t snapshot_seq = 0;
+    bool snapshot_valid = false;
     // Token bucket (BudgetOptions).
     double tokens = 0.0;
     Clock::time_point last_refill;
@@ -156,7 +174,9 @@ class Shard {
   void run_due_analyses(DegradationLevel level, CycleDelta& delta);
   void analyze(Tenant& tenant, DegradationLevel level, CycleDelta& delta);
   void apply_level(Tenant& tenant, DegradationLevel level);
+  void refill_bucket(Tenant& tenant);
   bool take_token(Tenant& tenant);
+  bool take_snapshot_token(Tenant& tenant);
   /// Finds or creates the tenant entry and moves it to the LRU tail.
   Tenant& touch(const std::string& name);
   void evict_idle(CycleDelta& delta);
@@ -165,8 +185,22 @@ class Shard {
   void publish(const Tenant& tenant, const ftio::core::Prediction& p);
   /// Crash-only restart: rebuilds the shard-thread state from scratch.
   /// The mailbox (with everything still queued) and the quarantine board
-  /// survive; live sessions do not.
+  /// survive; live sessions do not. With durability on, the state is
+  /// rebuilt from the newest checkpoint plus a journal replay instead of
+  /// empty.
   void restart();
+
+  // Durability (all no-ops while options_.durability.enabled is false).
+  bool durability_on() const { return options_.durability.enabled; }
+  /// Checkpoint restore + journal replay into the (empty) tenant map,
+  /// then (re)creates the journal writer past every recovered sequence.
+  /// Runs in the constructor and inside restart(); throws only when the
+  /// journal writer cannot be constructed at all.
+  void recover_state();
+  /// Serializes every tenant (reusing cached blobs for token-broke
+  /// ones), writes checkpoint-<seq>.ckpt atomically, and truncates the
+  /// journal to the floor. Returns false (and counts) on failure.
+  bool write_checkpoint(CycleDelta& delta);
 
   const std::size_t index_;
   const ServiceOptions& options_;
@@ -188,9 +222,29 @@ class Shard {
   std::uint64_t cycle_ = 0;
   std::size_t calm_cycles_ = 0;
   std::size_t live_sessions_ = 0;
+  std::size_t cycles_since_checkpoint_ = 0;
+  bool final_checkpoint_done_ = false;
+  /// Floors of the retained checkpoints, oldest first. The journal is
+  /// truncated through the *oldest* retained floor, so falling back from
+  /// a quarantined newest checkpoint to an older one still finds every
+  /// record the older snapshot needs replayed.
+  std::deque<std::uint64_t> checkpoint_floors_;
+
+  /// Admission-order serialization of the durability path: held across
+  /// journal-append + mailbox-push so the journal's sequence order
+  /// matches the mailbox's per-tenant arrival order, and by the shard
+  /// thread for truncation and recovery. Null writer = durability off,
+  /// or the journal could not be rebuilt after a restart (admission
+  /// then rejects with kRejectedDurability rather than ack non-durable
+  /// flushes).
+  mutable ftio::util::Mutex journal_mutex_;
+  std::filesystem::path durability_dir_;
+  std::unique_ptr<ftio::durability::JournalWriter> journal_
+      FTIO_GUARDED_BY(journal_mutex_);
 
   mutable ftio::util::Mutex stats_mutex_;
   ShardStats stats_ FTIO_GUARDED_BY(stats_mutex_);
+  ftio::durability::RecoveryStats recovery_ FTIO_GUARDED_BY(stats_mutex_);
 
   /// The results board: the one place admission-side reads meet
   /// shard-side writes about tenants. Kept apart from stats_mutex_ so a

@@ -95,7 +95,7 @@ void Tracer::append_records_locked(
 
 void Tracer::write_sink_to_file() {
   if (options_.path.empty()) return;
-  ftio::util::write_binary_file(options_.path, sink_);
+  ftio::util::write_file_atomic(options_.path, sink_);
 }
 
 void Tracer::flush(double now) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/binio.hpp"
 #include "util/error.hpp"
 
 namespace ftio::trace {
@@ -258,6 +259,65 @@ std::size_t IncrementalBandwidth::compact(double horizon) {
   }
   curve_.shrink_to_fit();
   return evicted;
+}
+
+void IncrementalBandwidth::save_state(ftio::util::BinWriter& out) const {
+  out.f64_opt(options_.window_start);  // compact() clips future chunks here
+  out.u64(events_.size());
+  for (const auto& e : events_) {
+    out.f64(e.time);
+    out.f64(e.delta);
+  }
+  out.f64_vec(raw_levels_);
+  out.f64_vec(curve_.times());
+  out.f64_vec(curve_.values());
+  out.f64(base_level_);
+  out.f64_opt(floor_);
+}
+
+void IncrementalBandwidth::load_state(ftio::util::BinReader& in) {
+  const std::optional<double> window_start = in.f64_opt();
+  const std::size_t event_count = in.count(2 * sizeof(double));
+  std::vector<BandwidthEvent> events(event_count);
+  for (auto& e : events) {
+    e.time = in.f64();
+    e.delta = in.f64();
+  }
+  std::vector<double> raw_levels = in.f64_vec();
+  std::vector<double> times = in.f64_vec();
+  std::vector<double> values = in.f64_vec();
+  const double base_level = in.f64();
+  const std::optional<double> floor = in.f64_opt();
+
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (bandwidth_event_less(events[i], events[i - 1])) {
+      throw ftio::util::ParseError("IncrementalBandwidth: events not sorted");
+    }
+  }
+  if (times.empty()) {
+    if (!values.empty() || !raw_levels.empty() || event_count != 0) {
+      throw ftio::util::ParseError(
+          "IncrementalBandwidth: empty curve with residual state");
+    }
+  } else if (times.size() != values.size() + 1 ||
+             raw_levels.size() != times.size()) {
+    throw ftio::util::ParseError(
+        "IncrementalBandwidth: curve/level size mismatch");
+  }
+  // The StepFunction constructor re-validates monotonicity; a corrupt
+  // snapshot surfaces as InvalidArgument, which durability decoders
+  // translate into a rejection like any other parse failure.
+  ftio::signal::StepFunction curve =
+      times.empty() ? ftio::signal::StepFunction{}
+                    : ftio::signal::StepFunction(std::move(times),
+                                                 std::move(values));
+
+  options_.window_start = window_start;
+  events_ = std::move(events);
+  raw_levels_ = std::move(raw_levels);
+  curve_ = std::move(curve);
+  base_level_ = base_level;
+  floor_ = floor;
 }
 
 std::size_t IncrementalBandwidth::memory_bytes() const {

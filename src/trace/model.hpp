@@ -8,6 +8,11 @@
 
 #include "signal/step_function.hpp"
 
+namespace ftio::util {
+class BinWriter;
+class BinReader;
+}  // namespace ftio::util
+
 namespace ftio::trace {
 
 /// Direction of an I/O request.
@@ -130,6 +135,19 @@ class IncrementalBandwidth {
 
   /// Resident bytes of events, level cache, and curve (capacities).
   std::size_t memory_bytes() const;
+
+  /// Appends the complete mutable state — sweep events, per-boundary
+  /// levels, curve boundaries/values, folded base level, eviction floor,
+  /// and the window_start clip compact() commits into the options — to
+  /// `out`. load_state on an instance constructed with the *same*
+  /// BandwidthOptions restores a bit-identical curve and sweep: every
+  /// later extend()/compact() then evolves exactly like the original.
+  void save_state(ftio::util::BinWriter& out) const;
+  /// Restores state written by save_state. Throws util::ParseError (or
+  /// util::InvalidArgument from the curve invariants) on truncated,
+  /// corrupt, or invariant-violating input; the instance is unchanged on
+  /// throw.
+  void load_state(ftio::util::BinReader& in);
 
  private:
   BandwidthOptions options_;

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftio::util {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+/// used by the durability layer to frame checkpoint tenants and journal
+/// records. Software table implementation: portable, and fast enough for
+/// flush-sized records (the durability hot path is dominated by fsync,
+/// not checksumming).
+namespace crc32c_detail {
+
+struct Table {
+  std::uint32_t entries[8][256];
+};
+
+inline Table make_table() {
+  Table t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    t.entries[0][i] = crc;
+  }
+  // Slice-by-8 extension tables: entries[k][b] is the CRC of byte b
+  // followed by k zero bytes.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = t.entries[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = t.entries[0][crc & 0xFFu] ^ (crc >> 8);
+      t.entries[k][i] = crc;
+    }
+  }
+  return t;
+}
+
+inline const Table& table() {
+  static const Table t = make_table();
+  return t;
+}
+
+}  // namespace crc32c_detail
+
+/// Extends a running CRC-32C over `size` bytes. Start (and finish) with
+/// crc32c(): the pre/post inversion is handled internally, so values are
+/// directly comparable and resumable.
+inline std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                                   std::size_t size) {
+  const auto& t = crc32c_detail::table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  while (size >= 8) {
+    std::uint32_t low = crc ^ (std::uint32_t(p[0]) | std::uint32_t(p[1]) << 8 |
+                               std::uint32_t(p[2]) << 16 |
+                               std::uint32_t(p[3]) << 24);
+    crc = t.entries[7][low & 0xFFu] ^ t.entries[6][(low >> 8) & 0xFFu] ^
+          t.entries[5][(low >> 16) & 0xFFu] ^ t.entries[4][low >> 24] ^
+          t.entries[3][p[4]] ^ t.entries[2][p[5]] ^ t.entries[1][p[6]] ^
+          t.entries[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t.entries[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// CRC-32C of a whole buffer.
+inline std::uint32_t crc32c(const void* data, std::size_t size) {
+  return crc32c_extend(0, data, size);
+}
+
+}  // namespace ftio::util

@@ -18,6 +18,14 @@ class ParseError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a filesystem operation fails part-way (short write, failed
+/// fsync/close/rename, ENOSPC). Distinct from ParseError: the bytes were
+/// fine, the device was not.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Precondition check helper: throws InvalidArgument with `message` when
 /// `condition` is false. Used at public API boundaries only; internal
 /// invariants use assert().

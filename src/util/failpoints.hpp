@@ -31,6 +31,14 @@
 ///   service.queue_overflow the mailbox reports full on a push
 ///   trace.parse_garbage    a kSkipBad parse treats one record as
 ///                          malformed
+///   durability.journal_write     a journal append writes a partial
+///                                (torn) frame, then throws IoError
+///   durability.journal_fsync     the journal fsync throws IoError
+///   durability.journal_rotate    segment rotation throws IoError
+///   durability.checkpoint_write  a checkpoint write leaves a partial
+///                                .tmp file behind, then throws
+///   durability.checkpoint_fsync  the checkpoint fsync throws IoError
+///   durability.checkpoint_rename the checkpoint rename throws IoError
 namespace ftio::util::failpoints {
 
 /// True when the library was compiled with FTIO_ENABLE_FAILPOINTS (the

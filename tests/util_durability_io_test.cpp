@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/binio.hpp"
+#include "util/crc32c.hpp"
+#include "util/error.hpp"
+#include "util/file.hpp"
+
+namespace util = ftio::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() /
+         ("ftio_io_test_" + std::to_string(::getpid()) + "_" + name);
+}
+
+}  // namespace
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / every
+  // Castagnoli implementation): crc("123456789") == 0xE3069283.
+  const std::string check = "123456789";
+  EXPECT_EQ(util::crc32c(check.data(), check.size()), 0xE3069283u);
+  EXPECT_EQ(util::crc32c(nullptr, 0), 0u);
+
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(util::crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(util::crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalExtendMatchesOneShot) {
+  std::vector<std::uint8_t> data(1027);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  const std::uint32_t whole = util::crc32c(data.data(), data.size());
+  // Resume at every split point, including ones that break the
+  // slice-by-8 fast path's 8-byte alignment.
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, std::size_t{512},
+                            data.size()}) {
+    std::uint32_t crc = util::crc32c(data.data(), split);
+    crc = util::crc32c_extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split " << split;
+  }
+}
+
+TEST(Crc32c, SingleBitFlipsChangeTheSum) {
+  std::vector<std::uint8_t> data(64, 0x5C);
+  const std::uint32_t base = util::crc32c(data.data(), data.size());
+  for (std::size_t byte : {std::size_t{0}, std::size_t{31}, std::size_t{63}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(util::crc32c(data.data(), data.size()), base);
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(BinIo, RoundTripsEveryFieldKind) {
+  util::BinWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.boolean(true);
+  w.f64(-0.0);  // sign-of-zero must survive: bit-pattern, not value
+  w.f64(1.0 / 3.0);
+  w.str("tenant/λ");
+  w.f64_vec(std::vector<double>{1.5, -2.5, 1e-300});
+  w.f64_opt(std::nullopt);
+  w.f64_opt(2.75);
+  w.blob(std::vector<std::uint8_t>{9, 8, 7});
+
+  util::BinReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  const double negzero = r.f64();
+  EXPECT_EQ(negzero, 0.0);
+  EXPECT_TRUE(std::signbit(negzero));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_EQ(r.str(), "tenant/λ");
+  EXPECT_EQ(r.f64_vec(), (std::vector<double>{1.5, -2.5, 1e-300}));
+  EXPECT_EQ(r.f64_opt(), std::nullopt);
+  EXPECT_EQ(r.f64_opt(), std::optional<double>(2.75));
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinIo, TruncatedAndOversizedInputsAreRejected) {
+  util::BinWriter w;
+  w.str("hello");
+  auto bytes = w.take();
+
+  // Cut inside the string payload: the length prefix promises more
+  // bytes than exist.
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 2);
+  util::BinReader r(cut);
+  EXPECT_THROW(r.str(), util::ParseError);
+
+  // A corrupted length prefix must not allocate or scan past the end.
+  bytes[0] = 0xFF;
+  bytes[1] = 0xFF;
+  util::BinReader r2(bytes);
+  EXPECT_THROW(r2.str(), util::ParseError);
+
+  util::BinReader empty(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(empty.done());
+  EXPECT_THROW(empty.u8(), util::ParseError);
+}
+
+TEST(BinIo, BooleanByteOutOfRangeThrows) {
+  const std::uint8_t two = 2;
+  util::BinReader r(std::span<const std::uint8_t>(&two, 1));
+  EXPECT_THROW(r.boolean(), util::ParseError);
+}
+
+TEST(BinIo, SubReaderIsBounded) {
+  util::BinWriter w;
+  w.u32(0x11111111u);
+  w.u32(0x22222222u);
+  util::BinReader r(w.bytes());
+  util::BinReader sub = r.sub(4);
+  EXPECT_EQ(sub.u32(), 0x11111111u);
+  EXPECT_THROW(sub.u32(), util::ParseError);  // cannot read past its slice
+  EXPECT_EQ(r.u32(), 0x22222222u);            // parent resumed after the slice
+  EXPECT_THROW(r.sub(1), util::ParseError);   // nothing left to slice
+}
+
+TEST(FileIo, AtomicWriteCreatesReplacesAndLeavesNoTemp) {
+  const fs::path path = temp_file("atomic.bin");
+  fs::remove(path);
+  const std::vector<std::uint8_t> first{1, 2, 3, 4, 5};
+  util::write_file_atomic(path, first);
+  EXPECT_EQ(util::read_binary_file(path), first);
+
+  const std::vector<std::uint8_t> second(4096, 0xC3);
+  util::write_file_atomic(path, second);
+  EXPECT_EQ(util::read_binary_file(path), second);
+
+  fs::path tmp = path;
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+  fs::remove(path);
+}
+
+TEST(FileIo, AtomicWriteFailureLeavesTargetUntouched) {
+  const fs::path dir = temp_file("atomic_dir");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "value.bin";
+  const std::vector<std::uint8_t> original{42};
+  util::write_file_atomic(path, original);
+
+  // Make the temp path unopenable: a directory squatting on it. The
+  // attempt must throw and the committed file must still read back.
+  fs::path tmp = path;
+  tmp += ".tmp";
+  fs::create_directories(tmp);
+  EXPECT_THROW(
+      util::write_file_atomic(path, std::vector<std::uint8_t>{9, 9, 9}),
+      util::IoError);
+  EXPECT_EQ(util::read_binary_file(path), original);
+  fs::remove_all(dir);
+}
+
+TEST(FileIo, WritesIntoMissingDirectoriesThrowIoError) {
+  const fs::path bogus =
+      temp_file("no_such_dir") / "deeper" / "out.bin";
+  EXPECT_THROW(util::write_file_atomic(bogus, std::vector<std::uint8_t>{1}),
+               util::IoError);
+  EXPECT_THROW(util::write_binary_file(bogus, std::vector<std::uint8_t>{1}),
+               util::IoError);
+  EXPECT_THROW(util::write_text_file(bogus, "x"), util::IoError);
+}
+
+TEST(FileIo, TextAndBinaryCheckedWritesRoundTrip) {
+  const fs::path path = temp_file("checked.txt");
+  util::write_text_file(path, "line one\nline two\n");
+  EXPECT_EQ(util::read_text_file(path), "line one\nline two\n");
+  EXPECT_THROW(util::read_text_file(temp_file("absent.txt")),
+               util::ParseError);
+  fs::remove(path);
+}
